@@ -1,0 +1,464 @@
+// Package bwc is a Go implementation of bandwidth-centric steady-state
+// scheduling of independent-task (Master-Worker) applications on
+// heterogeneous tree platforms, reproducing
+//
+//	Cyril Banino, "A Distributed Procedure for Bandwidth-Centric
+//	Scheduling of Independent-Task Applications", IPPS/IPDPS 2005.
+//
+// The package is a facade over the internal implementation packages; it is
+// the API the examples, the CLI and downstream users program against.
+//
+// # Model
+//
+// A platform is a node-weighted, edge-weighted tree: node P_i takes w_i
+// time units to compute one task (w = +inf models switches), and the edge
+// from its parent takes c_i time units to transfer one task. Nodes follow
+// the single-port, full-overlap model: simultaneous receive, compute, and
+// send — but at most one incoming and one outgoing transfer at a time. All
+// quantities are exact rationals.
+//
+// # Typical use
+//
+//	platform := bwc.NewBuilder().
+//	    Root("master", bwc.Rat(9, 1)).
+//	    Child("master", "w1", bwc.Rat(1, 2), bwc.Rat(8, 1)).
+//	    MustBuild()
+//
+//	res := bwc.Solve(platform)              // optimal steady-state rate
+//	s, _ := bwc.BuildSchedule(res)          // per-node event-driven schedules
+//	run, _ := bwc.Simulate(s, bwc.SimOptions{Periods: 4})
+//
+// Solve runs the paper's BW-First transaction procedure; SolveDistributed
+// runs the same procedure with one goroutine per node exchanging single
+// numbers over channels. BottomUp and LPThroughput provide two independent
+// oracles for the same optimum (Beaumont et al.'s reduction and an exact
+// rational simplex on the steady-state LP).
+package bwc
+
+import (
+	"io"
+	"math/rand"
+
+	"bwc/internal/bottomup"
+	"bwc/internal/bwfirst"
+	"bwc/internal/gantt"
+	"bwc/internal/graph"
+	"bwc/internal/graphlp"
+	"bwc/internal/infinite"
+	"bwc/internal/kreaseck"
+	"bwc/internal/lp"
+	"bwc/internal/makespan"
+	"bwc/internal/paperexample"
+	"bwc/internal/proto"
+	"bwc/internal/rat"
+	"bwc/internal/resultflow"
+	"bwc/internal/runtime"
+	"bwc/internal/sched"
+	"bwc/internal/sensitivity"
+	"bwc/internal/sim"
+	"bwc/internal/trace"
+	"bwc/internal/tree"
+	"bwc/internal/treegen"
+	"bwc/internal/treeio"
+)
+
+// Core model types.
+type (
+	// Rational is an immutable exact rational number.
+	Rational = rat.R
+	// Tree is an immutable heterogeneous platform tree.
+	Tree = tree.Tree
+	// NodeID identifies a node within one Tree.
+	NodeID = tree.NodeID
+	// Builder constructs platform trees.
+	Builder = tree.Builder
+)
+
+// Solver results and schedules.
+type (
+	// Result is the outcome of the BW-First procedure.
+	Result = bwfirst.Result
+	// Transaction is one proposal/acknowledgment exchange.
+	Transaction = bwfirst.Transaction
+	// DistributedResult is the outcome of the goroutine-per-node run.
+	DistributedResult = proto.Result
+	// BottomUpResult is the outcome of the baseline reduction.
+	BottomUpResult = bottomup.Result
+	// Schedule bundles the per-node event-driven schedules.
+	Schedule = sched.Schedule
+	// NodeSchedule is one node's compact schedule description.
+	NodeSchedule = sched.NodeSchedule
+	// ScheduleOptions configures schedule reconstruction.
+	ScheduleOptions = sched.Options
+)
+
+// Simulation types.
+type (
+	// SimOptions configures a simulated run of a schedule.
+	SimOptions = sim.Options
+	// Run is a completed simulation with trace and statistics.
+	Run = sim.Run
+	// RunStats summarizes a simulation.
+	RunStats = sim.Stats
+	// Trace is the recorded activity of a run.
+	Trace = trace.Trace
+	// DemandOptions configures the demand-driven comparator protocol.
+	DemandOptions = kreaseck.Options
+	// DynOptions configures a dynamic (multi-phase) simulation.
+	DynOptions = sim.DynOptions
+	// DynPhase activates a schedule at a point in virtual time.
+	DynPhase = sim.Phase
+	// DynPhysics swaps the platform weights at a point in virtual time.
+	DynPhysics = sim.PhysicsChange
+	// DynRun is the result of a dynamic simulation.
+	DynRun = sim.DynRun
+	// ExecuteConfig configures a real goroutine-backed execution of a
+	// schedule (wall-clock, not simulated).
+	ExecuteConfig = runtime.Config
+	// ExecuteReport summarizes a real execution.
+	ExecuteReport = runtime.Report
+	// ResourceUpgrade reports the throughput gain of speeding up one
+	// resource.
+	ResourceUpgrade = sensitivity.Upgrade
+	// DemandRun is a completed demand-driven simulation.
+	DemandRun = kreaseck.Run
+	// ResultPlatform is a platform whose links also return results.
+	ResultPlatform = resultflow.Platform
+	// InfiniteSpec describes a uniform infinite k-ary tree (Section 5's
+	// infinite-network analysis).
+	InfiniteSpec = infinite.Spec
+	// InfiniteCyclic describes an infinite tree whose levels repeat a
+	// heterogeneous cycle.
+	InfiniteCyclic = infinite.Cyclic
+	// InfiniteLevel is one level of an InfiniteCyclic.
+	InfiniteLevel = infinite.Level
+	// MakespanResult reports a finite-batch run against the steady-state
+	// lower bound.
+	MakespanResult = makespan.Result
+	// Graph is a general platform graph (Related Work [2]/[13]) from
+	// which tree overlays are extracted.
+	Graph = graph.Graph
+	// GraphBuilder assembles platform graphs.
+	GraphBuilder = graph.Builder
+	// OverlayKind selects a spanning-tree extraction heuristic.
+	OverlayKind = graph.OverlayKind
+)
+
+// Overlay heuristics for Graph.SpanningTree.
+const (
+	OverlayBFS    = graph.OverlayBFS
+	OverlayDFS    = graph.OverlayDFS
+	OverlayGreedy = graph.OverlayGreedy
+)
+
+// None marks "no node" (e.g. the root's parent).
+const None = tree.None
+
+// Rat returns the exact rational n/d.
+func Rat(n, d int64) Rational { return rat.New(n, d) }
+
+// RatInt returns the exact rational v.
+func RatInt(v int64) Rational { return rat.FromInt(v) }
+
+// ParseRat parses "3", "3/4" or "0.75".
+func ParseRat(s string) (Rational, error) { return rat.Parse(s) }
+
+// NewBuilder returns an empty platform builder.
+func NewBuilder() *Builder { return tree.NewBuilder() }
+
+// Solve computes the optimal steady-state throughput and the per-node
+// activity variables with the BW-First procedure (sequential reference
+// implementation).
+func Solve(t *Tree) *Result { return bwfirst.Solve(t) }
+
+// SolveBatch scores many platforms concurrently (results in input order) —
+// the bulk evaluation that makes Section 5's topological studies cheap.
+// workers <= 0 uses GOMAXPROCS.
+func SolveBatch(trees []*Tree, workers int) []*Result { return bwfirst.SolveBatch(trees, workers) }
+
+// SolveDistributed runs BW-First as a distributed protocol: one goroutine
+// per node, single-number messages over channels.
+func SolveDistributed(t *Tree) *DistributedResult { return proto.Solve(t) }
+
+// ProtocolSession keeps one goroutine per node alive across negotiation
+// rounds, enabling the Section 5 dynamic-adaptation pattern: the root
+// re-initiates BW-First against re-measured link weights via Renegotiate
+// without restarting node processes.
+type ProtocolSession = proto.Session
+
+// NewProtocolSession spawns the node goroutines for t. Close the session
+// to release them.
+func NewProtocolSession(t *Tree) *ProtocolSession { return proto.NewSession(t) }
+
+// BottomUp computes the same optimum with the baseline bottom-up fork
+// reduction of Beaumont et al., touching every node.
+func BottomUp(t *Tree) *BottomUpResult { return bottomup.Solve(t) }
+
+// LPThroughput computes the optimum a third way: as the exact solution of
+// the steady-state linear program, together with witness compute rates.
+func LPThroughput(t *Tree) (Rational, []Rational, error) { return lp.OptimalThroughput(t) }
+
+// BuildSchedule reconstructs every node's asynchronous, event-driven local
+// schedule (periods, ψ quantities, interleaved allocation pattern) from a
+// BW-First result.
+func BuildSchedule(res *Result, opts ...ScheduleOptions) (*Schedule, error) {
+	var o ScheduleOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return sched.Build(res, o)
+}
+
+// MarshalDeployment encodes the active nodes' ψ quantities and consuming
+// periods as JSON — the compact description each deployed node needs to
+// derive its own pattern locally.
+func MarshalDeployment(s *Schedule) ([]byte, error) { return s.MarshalDeployment() }
+
+// UnmarshalDeployment rebuilds a schedule for platform t from a deployment
+// document, recomputing every derived quantity locally.
+func UnmarshalDeployment(t *Tree, data []byte, opts ...ScheduleOptions) (*Schedule, error) {
+	var o ScheduleOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return sched.UnmarshalDeployment(t, data, o)
+}
+
+// QuantizeSchedule rounds the optimal rates down to denominators dividing
+// den before building the schedule, bounding every node's periods by den
+// at a throughput loss of at most (#nodes)/den — the practical answer to
+// the paper's warning that exact periods "might be embarrassingly long".
+// It returns the schedule and the quantized throughput.
+func QuantizeSchedule(res *Result, den int64, opts ...ScheduleOptions) (*Schedule, Rational, error) {
+	var o ScheduleOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return sched.Quantize(res, den, o)
+}
+
+// Simulate executes a schedule on the simulated platform under the
+// single-port full-overlap model: paced root, event-driven nodes, start-up
+// from empty buffers, wind-down after opt.Stop.
+func Simulate(s *Schedule, opt SimOptions) (*Run, error) { return sim.Simulate(s, opt) }
+
+// SimulateDynamic runs a multi-phase simulation: the platform's physics
+// and the deployed schedules may change at different moments, measuring
+// the paper's open question about re-negotiation overhead (Section 5 /
+// future work).
+func SimulateDynamic(opt DynOptions) (*DynRun, error) { return sim.SimulateDynamic(opt) }
+
+// Execute runs a batch as a real concurrent Master-Worker application:
+// goroutines per node, channels as links, wall-clock pacing scaled by
+// cfg.Scale, and the user's Work function invoked per task.
+func Execute(cfg ExecuteConfig) (*ExecuteReport, error) { return runtime.Execute(cfg) }
+
+// SimulateDemandDriven runs the Kreaseck-style demand-driven comparator
+// protocol on the same platform model.
+func SimulateDemandDriven(t *Tree, opt DemandOptions) (*DemandRun, error) {
+	return kreaseck.Simulate(t, opt)
+}
+
+// WithResultReturn wraps a platform with per-link result-return times d
+// (indexed by NodeID; the root entry is ignored), enabling the Section 9
+// analysis.
+func WithResultReturn(t *Tree, d []Rational) (ResultPlatform, error) {
+	return resultflow.NewPlatform(t, d)
+}
+
+// WithUniformResultReturn is WithResultReturn with the same d on every
+// link.
+func WithUniformResultReturn(t *Tree, d Rational) (ResultPlatform, error) {
+	return resultflow.UniformResult(t, d)
+}
+
+// Platform I/O.
+
+// ParsePlatform reads the line-oriented text format ("name parent comm
+// proc", '-' for the root's parent/comm, "inf" for switches).
+func ParsePlatform(r io.Reader) (*Tree, error) { return treeio.ParseText(r) }
+
+// ParsePlatformString is ParsePlatform on a string.
+func ParsePlatformString(s string) (*Tree, error) { return treeio.ParseTextString(s) }
+
+// FormatPlatform renders a platform in the text format.
+func FormatPlatform(t *Tree) string { return treeio.TextString(t) }
+
+// PlatformJSON encodes a platform as nested JSON.
+func PlatformJSON(t *Tree) ([]byte, error) { return treeio.MarshalJSON(t) }
+
+// PlatformFromJSON decodes a nested JSON platform.
+func PlatformFromJSON(data []byte) (*Tree, error) { return treeio.UnmarshalJSON(data) }
+
+// DOT renders a platform as a Graphviz digraph; highlight (optional) marks
+// nodes, e.g. the visited set of a Result.
+func DOT(t *Tree, highlight func(NodeID) bool) string { return treeio.DOT(t, highlight) }
+
+// DOTWithSchedule renders the platform annotated with the optimal steady
+// state: α per node, "c / η" per edge.
+func DOTWithSchedule(res *Result) string {
+	return treeio.DOTWithRates(res.Tree,
+		func(id NodeID) Rational { return res.Nodes[id].Alpha },
+		func(id NodeID) Rational { return res.SendRate(id) })
+}
+
+// Rendering.
+
+// GanttASCII renders a run's trace window as text, one character per step.
+func GanttASCII(tr *Trace, from, to, step Rational) string {
+	return gantt.ASCII(tr, from, to, step)
+}
+
+// GanttSVG renders a run's trace window as an SVG document.
+func GanttSVG(tr *Trace, from, to Rational, pxPerUnit float64) string {
+	return gantt.SVG(tr, from, to, pxPerUnit)
+}
+
+// GanttASCIIWithBuffers adds per-node buffered-task rows to the ASCII
+// Gantt (digits 0-9, '+' for ten or more).
+func GanttASCIIWithBuffers(tr *Trace, from, to, step Rational) string {
+	return gantt.ASCIIWithBuffers(tr, from, to, step)
+}
+
+// Generators.
+
+// PlatformKind selects a synthetic platform family.
+type PlatformKind = treegen.Kind
+
+// Platform families for GeneratePlatform.
+const (
+	Uniform          = treegen.Uniform
+	BandwidthLimited = treegen.BandwidthLimited
+	ComputeLimited   = treegen.ComputeLimited
+	DeepChain        = treegen.DeepChain
+	WideStar         = treegen.WideStar
+	SwitchHeavy      = treegen.SwitchHeavy
+	SETI             = treegen.SETI
+)
+
+// GeneratePlatform builds a deterministic synthetic platform of n nodes.
+func GeneratePlatform(kind PlatformKind, n int, seed int64) *Tree {
+	return treegen.Generate(kind, n, seed)
+}
+
+// GenerateBandwidthSeverity builds a platform whose link times are scaled
+// by severity over a compute-balanced baseline (the E5 bottleneck sweep).
+func GenerateBandwidthSeverity(n int, severity, seed int64) *Tree {
+	return treegen.BandwidthSeverity(n, severity, seed)
+}
+
+// PaperExampleTree returns the 12-node Section 8 platform: throughput
+// 10/9, steady-state period 360, rootless period 40, and nodes P5, P9,
+// P10, P11 unused by the optimal schedule.
+func PaperExampleTree() *Tree { return paperexample.Tree() }
+
+// Verify cross-checks the three throughput oracles (BW-First, bottom-up
+// reduction, exact LP) on t and the internal invariants of the BW-First
+// result; it returns the agreed throughput.
+func Verify(t *Tree) (Rational, error) {
+	res := bwfirst.Solve(t)
+	if err := res.CheckInvariants(); err != nil {
+		return rat.Zero, err
+	}
+	bu := bottomup.Solve(t)
+	if !bu.Throughput.Equal(res.Throughput) {
+		return rat.Zero, errMismatch("bottom-up", bu.Throughput, res.Throughput)
+	}
+	opt, _, err := lp.OptimalThroughput(t)
+	if err != nil {
+		return rat.Zero, err
+	}
+	if !opt.Equal(res.Throughput) {
+		return rat.Zero, errMismatch("LP", opt, res.Throughput)
+	}
+	dist := proto.Solve(t)
+	if !dist.Throughput.Equal(res.Throughput) {
+		return rat.Zero, errMismatch("distributed protocol", dist.Throughput, res.Throughput)
+	}
+	return res.Throughput, nil
+}
+
+type mismatchError struct {
+	oracle string
+	got    Rational
+	want   Rational
+}
+
+func (e mismatchError) Error() string {
+	return "bwc: " + e.oracle + " disagrees: " + e.got.String() + " vs BW-First " + e.want.String()
+}
+
+func errMismatch(oracle string, got, want Rational) error {
+	return mismatchError{oracle: oracle, got: got, want: want}
+}
+
+// Infinite-tree analysis (Section 5 / Bataineh & Robertazzi [3]).
+
+// InfiniteRate returns the exact equivalent computing rate of the uniform
+// infinite k-ary tree: 1/w + 1/c.
+func InfiniteRate(s InfiniteSpec) (Rational, error) { return s.Rate() }
+
+// TruncatedRate returns the equivalent rate of the spec's depth-d
+// truncation; it increases monotonically to InfiniteRate with d.
+func TruncatedRate(s InfiniteSpec, depth int) (Rational, error) { return s.TruncatedRate(depth) }
+
+// CyclicInfiniteRate returns the exact rate of an infinite tree with a
+// repeating heterogeneous level cycle (fixed point of the composed
+// Proposition 1 reductions).
+func CyclicInfiniteRate(c InfiniteCyclic) (Rational, error) { return c.Rate(0) }
+
+// Finite-batch makespan (the Section 2 heuristic claim).
+
+// BatchMakespan schedules a finite batch of n tasks with the event-driven
+// schedule and reports the makespan against the steady-state lower bound
+// n/ρ*.
+func BatchMakespan(t *Tree, n int) (MakespanResult, error) { return makespan.EventDriven(t, n) }
+
+// BatchMakespanDemandDriven runs the same batch under the demand-driven
+// comparator protocol.
+func BatchMakespanDemandDriven(t *Tree, n int) (MakespanResult, error) {
+	return makespan.DemandDriven(t, n)
+}
+
+// MakespanLowerBound returns n/ρ*: no schedule can beat it.
+func MakespanLowerBound(t *Tree, n int) (Rational, error) { return makespan.Bound(t, n) }
+
+// AnalyzeUpgrades re-solves the platform once per resource sped up by the
+// given factor and returns the exact throughput gains, best first — the
+// operational answer to "what should we upgrade?".
+func AnalyzeUpgrades(t *Tree, speedup Rational) ([]ResourceUpgrade, error) {
+	return sensitivity.Analyze(t, speedup)
+}
+
+// General platform graphs (Related Work [2]/[13]).
+
+// NewGraphBuilder returns an empty platform-graph builder.
+func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
+
+// RandomGraph generates a seeded random connected platform graph with
+// extra cross links beyond the spanning backbone.
+func RandomGraph(seed int64, n, extraEdges int, switchProb float64) *Graph {
+	return graph.RandomConnected(RandSource(seed), n, extraEdges, switchProb)
+}
+
+// GraphThroughput computes the exact steady-state optimum of a general
+// platform graph via the LP of Banino et al. [2] — the routing-free upper
+// bound on any tree overlay.
+func GraphThroughput(g *Graph) (Rational, error) { return graphlp.OptimalThroughput(g) }
+
+// ParseGraph reads the line-oriented graph format ("node", "switch",
+// "link", "master" directives).
+func ParseGraph(r io.Reader) (*Graph, error) { return graph.ParseText(r) }
+
+// ParseGraphString is ParseGraph on a string.
+func ParseGraphString(s string) (*Graph, error) { return graph.ParseTextString(s) }
+
+// FormatGraph renders a graph in the text format.
+func FormatGraph(g *Graph) string { return graph.TextString(g) }
+
+// GraphDOT renders a graph as an undirected Graphviz graph.
+func GraphDOT(g *Graph) string { return graph.DOT(g) }
+
+// RandSource returns a deterministic *rand.Rand for examples and
+// experiments that need auxiliary randomness.
+func RandSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

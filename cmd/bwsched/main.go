@@ -1,0 +1,597 @@
+// Command bwsched is the command-line interface to the bandwidth-centric
+// scheduling library: compute optimal steady-state throughputs, build
+// event-driven schedules, simulate runs with Gantt output, verify the
+// result against independent oracles, and generate synthetic platforms.
+//
+// Platforms are described in the line-oriented text format:
+//
+//	# name parent comm proc      ('-' for the root, "inf" for switches)
+//	P0 -  -   9
+//	P1 P0 1/2 8
+//
+// Subcommands:
+//
+//	throughput  optimal steady-state rate, visited set, bottlenecks
+//	schedule    per-node event-driven schedules (periods, ψ, order;
+//	            -quantize D bounds the periods)
+//	simulate    run the schedule; start-up/wind-down stats, Gantt output
+//	verify      cross-check BW-First vs bottom-up vs LP vs distributed
+//	compare     event-driven vs demand-driven protocol on one platform
+//	dynamic     platform degradation + re-negotiation lag simulation
+//	overlay     extract and score tree overlays from a platform graph
+//	upgrade     exact throughput gain per resource speedup
+//	execute     run a real goroutine-backed deployment
+//	makespan    finite-batch makespan vs the steady-state lower bound
+//	infinite    infinite k-ary tree throughput and truncations
+//	gen         generate a synthetic platform
+//	dot         Graphviz export (-used highlights; -rates annotates α, η)
+//	example     print the paper's Section 8 example platform
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"bwc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "throughput":
+		err = cmdThroughput(args)
+	case "schedule":
+		err = cmdSchedule(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "gen":
+		err = cmdGen(args)
+	case "dot":
+		err = cmdDot(args)
+	case "overlay":
+		err = cmdOverlay(args)
+	case "dynamic":
+		err = cmdDynamic(args)
+	case "upgrade":
+		err = cmdUpgrade(args)
+	case "execute":
+		err = cmdExecute(args)
+	case "makespan":
+		err = cmdMakespan(args)
+	case "infinite":
+		err = cmdInfinite(args)
+	case "example":
+		fmt.Print(bwc.FormatPlatform(bwc.PaperExampleTree()))
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "bwsched: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bwsched:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: bwsched <command> [flags]
+
+commands:
+  throughput -f platform.txt     optimal steady-state throughput
+  schedule   -f platform.txt     per-node event-driven schedules
+  simulate   -f platform.txt -stop 115 [-gantt out.svg] [-ascii] [-block]
+  verify     -f platform.txt     cross-check all four oracles
+  compare    -f platform.txt -stop 115
+  overlay    -f graph.txt [-emit greedy]  extract tree overlays from a graph
+  dynamic    -f platform.txt -degrade P1=4 -at 120 -lag 40 -stop 400
+  upgrade    -f platform.txt [-speedup 2] [-top 5]
+  execute    -f platform.txt -n 100 -scale 2ms    run a real goroutine deployment
+  makespan   -f platform.txt -n 500 [-demand]
+  infinite   -k 2 -w 2 -c 1 [-depth 8]
+  gen        -kind uniform -n 30 -seed 1
+  dot        -f platform.txt [-used]
+  example                        print the paper's example platform
+
+'-f -' (default) reads the platform from stdin.
+`)
+}
+
+// loadPlatform reads the platform from -f (or stdin for "-").
+func loadPlatform(path string) (*bwc.Tree, error) {
+	var r io.Reader
+	if path == "" || path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return bwc.ParsePlatform(r)
+}
+
+func cmdThroughput(args []string) error {
+	fs := flag.NewFlagSet("throughput", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	showTx := fs.Bool("tx", false, "print the transaction log")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	res := bwc.Solve(t)
+	fmt.Printf("nodes:       %d\n", t.Len())
+	fmt.Printf("t_max:       %s\n", res.TMax)
+	fmt.Printf("throughput:  %s tasks/unit (%.4f)\n", res.Throughput, res.Throughput.Float64())
+	fmt.Printf("visited:     %d\n", res.VisitedCount)
+	if unv := res.UnvisitedNodes(); len(unv) > 0 {
+		names := make([]string, len(unv))
+		for i, id := range unv {
+			names[i] = t.Name(id)
+		}
+		fmt.Printf("unused:      %s\n", strings.Join(names, ", "))
+	}
+	var bn []string
+	for _, b := range res.Bottlenecks() {
+		bn = append(bn, t.Name(b.Node)+" "+b.Kind)
+	}
+	if len(bn) > 0 {
+		fmt.Printf("bottlenecks: %s\n", strings.Join(bn, ", "))
+	}
+	if *showTx {
+		fmt.Printf("transactions:\n%s", res.TranscriptString())
+	}
+	return nil
+}
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	block := fs.Bool("block", false, "use block allocation instead of interleaving")
+	quantize := fs.Int64("quantize", 0, "round rates to denominators dividing D (bounds periods by D)")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	res := bwc.Solve(t)
+	var s *bwc.Schedule
+	thr := res.Throughput
+	if *quantize > 0 {
+		s, thr, err = bwc.QuantizeSchedule(res, *quantize, bwc.ScheduleOptions{Block: *block})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("quantized to D=%d: throughput %s (optimum %s)\n", *quantize, thr, res.Throughput)
+	} else {
+		s, err = bwc.BuildSchedule(res, bwc.ScheduleOptions{Block: *block})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("throughput:      %s tasks/unit\n", thr)
+	fmt.Printf("tree period:     %s\n", s.TreePeriod())
+	fmt.Printf("rootless period: %s (rate %s/unit)\n", s.RootlessPeriod(), s.RootlessRate())
+	fmt.Printf("startup bound:   %s (Prop. 4)\n", s.MaxStartupBound())
+	fmt.Print(s.String())
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	stop := fs.String("stop", "", "stop delegating at this time (rational)")
+	periods := fs.Int("periods", 0, "alternatively: run this many root periods")
+	ganttSVG := fs.String("gantt", "", "write an SVG Gantt diagram to this file")
+	ascii := fs.Bool("ascii", false, "print an ASCII Gantt diagram")
+	buffers := fs.Bool("buffers", false, "include buffered-task rows in the ASCII Gantt")
+	window := fs.String("window", "60", "ASCII/SVG time window end")
+	block := fs.Bool("block", false, "use block allocation instead of interleaving")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	res := bwc.Solve(t)
+	s, err := bwc.BuildSchedule(res, bwc.ScheduleOptions{Block: *block})
+	if err != nil {
+		return err
+	}
+	opt := bwc.SimOptions{Periods: *periods}
+	if *stop != "" {
+		v, err := bwc.ParseRat(*stop)
+		if err != nil {
+			return err
+		}
+		opt = bwc.SimOptions{Stop: v}
+	}
+	run, err := bwc.Simulate(s, opt)
+	if err != nil {
+		return err
+	}
+	if err := run.CheckConservation(); err != nil {
+		return err
+	}
+	st := run.Stats
+	fmt.Printf("throughput:   %s tasks/unit (analytic)\n", st.Throughput)
+	fmt.Printf("tree period:  %s (%s tasks/period)\n", st.TreePeriod, st.PerPeriod)
+	fmt.Printf("stop at:      %s\n", st.StopAt)
+	fmt.Printf("tasks:        %d generated, %d completed\n", st.Generated, st.Completed)
+	if st.SteadyOK {
+		fmt.Printf("steady from:  %s (%d tasks completed during start-up)\n", st.SteadyStart, st.StartupCompleted)
+	} else {
+		fmt.Printf("steady from:  not reached within a full period before stop\n")
+	}
+	fmt.Printf("wind-down:    %s\n", st.WindDown)
+	fmt.Printf("max buffered: %d tasks\n", st.MaxHeld)
+	end, err := bwc.ParseRat(*window)
+	if err != nil {
+		return err
+	}
+	if *ascii {
+		if *buffers {
+			fmt.Print(bwc.GanttASCIIWithBuffers(run.Trace, bwc.RatInt(0), end, bwc.RatInt(1)))
+		} else {
+			fmt.Print(bwc.GanttASCII(run.Trace, bwc.RatInt(0), end, bwc.RatInt(1)))
+		}
+	}
+	if *ganttSVG != "" {
+		if err := os.WriteFile(*ganttSVG, []byte(bwc.GanttSVG(run.Trace, bwc.RatInt(0), end, 9)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("gantt:        %s\n", *ganttSVG)
+	}
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	thr, err := bwc.Verify(t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("OK: BW-First, bottom-up reduction, exact LP and the distributed\n")
+	fmt.Printf("protocol all agree: throughput %s tasks/unit\n", thr)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	stop := fs.String("stop", "120", "stop time")
+	target := fs.Int("target", 2, "demand-driven per-node buffer target")
+	interruptible := fs.Bool("interruptible", false, "demand-driven protocol may preempt slow transmissions")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	stopAt, err := bwc.ParseRat(*stop)
+	if err != nil {
+		return err
+	}
+	res := bwc.Solve(t)
+	s, err := bwc.BuildSchedule(res)
+	if err != nil {
+		return err
+	}
+	ev, err := bwc.Simulate(s, bwc.SimOptions{Stop: stopAt, SkipIntervals: true})
+	if err != nil {
+		return err
+	}
+	dd, err := bwc.SimulateDemandDriven(t, bwc.DemandOptions{Stop: stopAt, BufferTarget: *target, Interruptible: *interruptible, SkipIntervals: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimal rate: %s tasks/unit; stop at %s\n", res.Throughput, stopAt)
+	fmt.Printf("%-14s %10s %14s %12s\n", "protocol", "tasks", "max-buffered", "wind-down")
+	fmt.Printf("%-14s %10d %14d %12s\n", "event-driven", ev.Stats.Completed, ev.Stats.MaxHeld, ev.Stats.WindDown)
+	fmt.Printf("%-14s %10d %14d %12s\n", "demand-driven", dd.Stats.Completed, dd.Stats.MaxHeld, dd.Stats.WindDown)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "uniform", "platform family: uniform, bandwidth-limited, compute-limited, deep-chain, wide-star, switch-heavy, seti")
+	n := fs.Int("n", 20, "number of nodes")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	var k bwc.PlatformKind
+	found := false
+	for _, cand := range []bwc.PlatformKind{bwc.Uniform, bwc.BandwidthLimited, bwc.ComputeLimited, bwc.DeepChain, bwc.WideStar, bwc.SwitchHeavy, bwc.SETI} {
+		if cand.String() == *kind {
+			k, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if *n < 1 {
+		return fmt.Errorf("n must be >= 1")
+	}
+	fmt.Print(bwc.FormatPlatform(bwc.GeneratePlatform(k, *n, *seed)))
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	used := fs.Bool("used", false, "highlight the nodes used by the optimal schedule")
+	rates := fs.Bool("rates", false, "annotate nodes with α and edges with c / η")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	if *rates {
+		fmt.Print(bwc.DOTWithSchedule(bwc.Solve(t)))
+		return nil
+	}
+	var highlight func(bwc.NodeID) bool
+	if *used {
+		highlight = bwc.Solve(t).Visited
+	}
+	fmt.Print(bwc.DOT(t, highlight))
+	return nil
+}
+
+func cmdMakespan(args []string) error {
+	fs := flag.NewFlagSet("makespan", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	n := fs.Int("n", 500, "batch size (tasks)")
+	demand := fs.Bool("demand", false, "also run the demand-driven comparator")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	res, err := bwc.BatchMakespan(t, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch:         %d tasks\n", res.N)
+	fmt.Printf("lower bound:   %s (N / optimal rate)\n", res.LowerBound)
+	fmt.Printf("event-driven:  makespan %s, ratio %.4f, overhead %s\n", res.Makespan, res.Ratio, res.Overhead)
+	if *demand {
+		dd, err := bwc.BatchMakespanDemandDriven(t, *n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("demand-driven: makespan %s, ratio %.4f, overhead %s\n", dd.Makespan, dd.Ratio, dd.Overhead)
+	}
+	return nil
+}
+
+func cmdInfinite(args []string) error {
+	fs := flag.NewFlagSet("infinite", flag.ExitOnError)
+	k := fs.Int("k", 2, "fanout of the infinite tree")
+	w := fs.String("w", "2", "processing time per task (rational)")
+	c := fs.String("c", "1", "communication time per task (rational)")
+	depth := fs.Int("depth", 8, "show truncations up to this depth")
+	fs.Parse(args)
+	wr, err := bwc.ParseRat(*w)
+	if err != nil {
+		return err
+	}
+	cr, err := bwc.ParseRat(*c)
+	if err != nil {
+		return err
+	}
+	spec := bwc.InfiniteSpec{Fanout: *k, Proc: wr, Comm: cr}
+	limit, err := bwc.InfiniteRate(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("infinite %d-ary tree (w=%s, c=%s): rate = 1/w + 1/c = %s tasks/unit\n", *k, wr, cr, limit)
+	fmt.Printf("%-6s %-12s %s\n", "depth", "rate", "fraction of infinite")
+	for d := 0; d <= *depth; d++ {
+		x, err := bwc.TruncatedRate(spec, d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6d %-12s %6.2f%%\n", d, x, 100*x.Float64()/limit.Float64())
+	}
+	return nil
+}
+
+func cmdOverlay(args []string) error {
+	fs := flag.NewFlagSet("overlay", flag.ExitOnError)
+	file := fs.String("f", "-", "graph file ('-' = stdin; directives: node/switch/link/master)")
+	emit := fs.String("emit", "", "print the chosen overlay platform (bfs, dfs or greedy) instead of the report")
+	fs.Parse(args)
+	var r io.Reader
+	if *file == "" || *file == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := bwc.ParseGraph(r)
+	if err != nil {
+		return err
+	}
+	if *emit != "" {
+		for _, k := range []bwc.OverlayKind{bwc.OverlayBFS, bwc.OverlayDFS, bwc.OverlayGreedy} {
+			if k.String() == *emit {
+				tr, err := g.SpanningTree(k)
+				if err != nil {
+					return err
+				}
+				fmt.Print(bwc.FormatPlatform(tr))
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown overlay %q (want bfs, dfs or greedy)", *emit)
+	}
+	opt, err := bwc.GraphThroughput(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph:        %d nodes, %d links\n", g.Len(), g.EdgeCount())
+	fmt.Printf("graph optimum: %s tasks/unit (LP upper bound)\n", opt)
+	fmt.Printf("%-8s %14s %12s\n", "overlay", "tasks/unit", "of optimum")
+	for _, k := range []bwc.OverlayKind{bwc.OverlayGreedy, bwc.OverlayBFS, bwc.OverlayDFS} {
+		tr, err := g.SpanningTree(k)
+		if err != nil {
+			return err
+		}
+		thr := bwc.Solve(tr).Throughput
+		fmt.Printf("%-8s %14s %11.1f%%\n", k, thr, 100*thr.Float64()/opt.Float64())
+	}
+	return nil
+}
+
+func cmdDynamic(args []string) error {
+	fs := flag.NewFlagSet("dynamic", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	degrade := fs.String("degrade", "", "link change as node=newComm (e.g. P1=4)")
+	at := fs.String("at", "120", "time of the platform change")
+	lag := fs.String("lag", "40", "detection lag before the schedules switch")
+	stop := fs.String("stop", "400", "stop releasing tasks at this time")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	name, commS, ok := strings.Cut(*degrade, "=")
+	if !ok {
+		return fmt.Errorf("need -degrade node=newComm")
+	}
+	id, found := t.Lookup(name)
+	if !found {
+		return fmt.Errorf("unknown node %q", name)
+	}
+	newComm, err := bwc.ParseRat(commS)
+	if err != nil {
+		return err
+	}
+	atR, err := bwc.ParseRat(*at)
+	if err != nil {
+		return err
+	}
+	lagR, err := bwc.ParseRat(*lag)
+	if err != nil {
+		return err
+	}
+	stopR, err := bwc.ParseRat(*stop)
+	if err != nil {
+		return err
+	}
+	after, err := t.WithCommTime(id, newComm)
+	if err != nil {
+		return err
+	}
+	resBefore, resAfter := bwc.Solve(t), bwc.Solve(after)
+	sBefore, err := bwc.BuildSchedule(resBefore)
+	if err != nil {
+		return err
+	}
+	sAfter, err := bwc.BuildSchedule(resAfter)
+	if err != nil {
+		return err
+	}
+	run, err := bwc.SimulateDynamic(bwc.DynOptions{
+		Phases: []bwc.DynPhase{
+			{At: bwc.RatInt(0), Schedule: sBefore},
+			{At: atR.Add(lagR), Schedule: sAfter},
+		},
+		Physics:       []bwc.DynPhysics{{At: atR, Tree: after}},
+		Stop:          stopR,
+		SkipIntervals: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rates:        %s before, %s after the change\n", resBefore.Throughput, resAfter.Throughput)
+	fmt.Printf("change at:    %s; schedules switch at %s (lag %s)\n", atR, atR.Add(lagR), lagR)
+	fmt.Printf("tasks:        %d generated, %d completed, %d dropped\n", run.Generated, run.Completed, run.Dropped)
+	fmt.Printf("wind-down:    %s; max buffered %d\n", run.WindDown, run.MaxHeld)
+	return nil
+}
+
+func cmdUpgrade(args []string) error {
+	fs := flag.NewFlagSet("upgrade", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	speedup := fs.String("speedup", "2", "speedup factor applied to each resource in turn")
+	top := fs.Int("top", 5, "show this many upgrades")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	f, err := bwc.ParseRat(*speedup)
+	if err != nil {
+		return err
+	}
+	base := bwc.Solve(t).Throughput
+	ups, err := bwc.AnalyzeUpgrades(t, f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("current throughput: %s tasks/unit\n", base)
+	fmt.Printf("top upgrades at %sx speedup:\n", f)
+	fmt.Printf("%-8s %-6s %14s %14s\n", "node", "kind", "gain", "new rate")
+	for i, u := range ups {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%-8s %-6s %14s %14s\n", t.Name(u.Node), u.Kind, u.Gain, base.Add(u.Gain))
+	}
+	return nil
+}
+
+func cmdExecute(args []string) error {
+	fs := flag.NewFlagSet("execute", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	n := fs.Int("n", 100, "batch size")
+	scale := fs.Duration("scale", 2*time.Millisecond, "wall-clock duration per virtual time unit")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	res := bwc.Solve(t)
+	s, err := bwc.BuildSchedule(res)
+	if err != nil {
+		return err
+	}
+	rep, err := bwc.Execute(bwc.ExecuteConfig{Schedule: s, Tasks: *n, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("executed %d tasks in %v (rate %s/unit analytic)\n", rep.Total, rep.Elapsed.Round(time.Millisecond), res.Throughput)
+	for id := 0; id < t.Len(); id++ {
+		if rep.Executed[id] > 0 {
+			fmt.Printf("  %-8s %6d tasks\n", t.Name(bwc.NodeID(id)), rep.Executed[id])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,478 @@
+// Command experiments runs the full reproduction suite (E1-E10 of
+// DESIGN.md) and prints paper-vs-measured values for every figure and
+// quantitative claim of the paper. EXPERIMENTS.md is generated from this
+// output.
+//
+// Usage:
+//
+//	experiments [-run E4] [-gantt fig5.svg] [-ascii]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bwc"
+)
+
+var (
+	runOnly  = flag.String("run", "", "run a single experiment (e.g. E4); empty runs all")
+	ganttOut = flag.String("gantt", "", "write the E4 Gantt diagram as SVG to this file")
+	asciiFig = flag.Bool("ascii", false, "print an ASCII Gantt excerpt in E4")
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func()
+}
+
+func main() {
+	flag.Parse()
+	all := []experiment{
+		{"E1", "Fork-graph reduction (Prop. 1 / Fig. 2)", e1},
+		{"E2", "Interleaved local schedule (Fig. 3)", e2},
+		{"E3", "Example tree: transactions and rates (Fig. 4)", e3},
+		{"E4", "Gantt, start-up and wind-down (Fig. 5 / §8)", e4},
+		{"E5", "Depth-first prunes unused nodes (§5)", e5},
+		{"E6", "Optimality cross-check: BW-First = bottom-up = LP (§5)", e6},
+		{"E7", "Buffering ablation: interleaved vs block (§6.3)", e7},
+		{"E8", "Event-driven vs demand-driven start-up (§7 vs [12])", e8},
+		{"E9", "Protocol cost of the distributed procedure (§5)", e9},
+		{"E10", "Result-return counter-example (§9)", e10},
+		{"E11", "Infinite network trees (§5, [3])", e11},
+		{"E12", "Finite batches: makespan heuristic (§2, Dutot)", e12},
+		{"E13", "Tree overlays vs the general-graph optimum (§1, [2])", e13},
+		{"E14", "Re-negotiation overhead under platform dynamics (§5, future work)", e14},
+		{"E15", "Quantized schedules vs embarrassingly long periods (§6)", e15},
+	}
+	ran := 0
+	for _, e := range all {
+		if *runOnly != "" && e.id != *runOnly {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.id, e.title)
+		e.run()
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *runOnly)
+		os.Exit(2)
+	}
+}
+
+func e1() {
+	const trials = 200
+	matches := 0
+	for seed := int64(0); seed < trials; seed++ {
+		tr := bwc.GeneratePlatform(bwc.WideStar, 10, seed)
+		if bwc.Solve(tr).Throughput.Equal(bwc.BottomUp(tr).Throughput) {
+			matches++
+		}
+	}
+	fmt.Printf("paper:    BW-First equals Proposition 1 on fork graphs (proof, §5)\n")
+	fmt.Printf("measured: %d/%d random 10-node forks agree exactly\n", matches, trials)
+}
+
+func e2() {
+	// A platform whose root has ψ = (self:1, w1:2, w2:4), matching the
+	// Figure 3 example: w_root = 7, link times chosen so η are 2/7 and
+	// 4/7 of the unit... simplest is to build the pattern directly from a
+	// platform engineered to that bunch.
+	tr := bwc.NewBuilder().
+		Root("P0", bwc.RatInt(7)).
+		Child("P0", "P1", bwc.RatInt(1), bwc.Rat(7, 2)).
+		Child("P0", "P2", bwc.RatInt(1), bwc.Rat(7, 4)).
+		MustBuild()
+	s, err := bwc.BuildSchedule(bwc.Solve(tr))
+	check(err)
+	root := &s.Nodes[tr.Root()]
+	var order []string
+	for _, slot := range root.Pattern {
+		if slot.Dest < 0 {
+			order = append(order, "P0")
+		} else {
+			order = append(order, tr.Name(tr.Children(tr.Root())[slot.Dest]))
+		}
+	}
+	fmt.Printf("ψ quantities: self=%s P1=%s P2=%s (bunch Ψ=%s)\n", root.Psi0, root.Psi[0], root.Psi[1], root.Bunch)
+	fmt.Printf("paper:    first to P2, second to P1, third to P2, ... (P2 P1 P2 P0 P2 P1 P2)\n")
+	fmt.Printf("measured: %s\n", strings.Join(order, " "))
+}
+
+func e3() {
+	tr := bwc.PaperExampleTree()
+	res := bwc.Solve(tr)
+	fmt.Printf("platform: 12 nodes; t_max = %s\n", res.TMax)
+	fmt.Printf("paper:    throughput 10 tasks every 9 time units; P5, P9, P10, P11 not visited\n")
+	var unv []string
+	for _, id := range res.UnvisitedNodes() {
+		unv = append(unv, tr.Name(id))
+	}
+	fmt.Printf("measured: throughput %s; unvisited: %s\n", res.Throughput, strings.Join(unv, ", "))
+	fmt.Printf("transactions (Fig. 4b):\n%s", indent(res.TranscriptString()))
+	s, err := bwc.BuildSchedule(res)
+	check(err)
+	fmt.Printf("local schedules (Fig. 4d):\n%s", indent(s.String()))
+	fmt.Printf("compact description: %d bytes of ψ quantities for the whole platform\n", s.CompactSize())
+	fmt.Printf("          (a synchronized timetable would enumerate T = %s time slots)\n", s.TreePeriod())
+}
+
+func e4() {
+	tr := bwc.PaperExampleTree()
+	res := bwc.Solve(tr)
+	s, err := bwc.BuildSchedule(res)
+	check(err)
+	stop := bwc.RatInt(115)
+	run, err := bwc.Simulate(s, bwc.SimOptions{Stop: stop})
+	check(err)
+	check(run.CheckConservation())
+
+	fmt.Printf("paper:    T = 360; rootless tree: 40 tasks / 40 units; start-up = one rootless\n")
+	fmt.Printf("          period (40) executing 32 tasks (80%% of optimal); stop at t = 115;\n")
+	fmt.Printf("          wind-down = 10 units (4x shorter than the rootless period)\n")
+	fmt.Printf("measured: T = %s; rootless rate %s/unit, rootless period %s\n",
+		s.TreePeriod(), s.RootlessRate(), s.RootlessPeriod())
+	// Rootless ramp per rootless period.
+	period := int64(40)
+	var ramp []string
+	for k := int64(0); (k+1)*period <= 115; k++ {
+		n := 0
+		for _, c := range run.Trace.Completions {
+			if c.Node != tr.Root() && !c.At.Less(bwc.RatInt(k*period)) && c.At.Less(bwc.RatInt((k+1)*period)) {
+				n++
+			}
+		}
+		ramp = append(ramp, fmt.Sprintf("%d", n))
+	}
+	fmt.Printf("          rootless tasks per 40-unit window: %s (steady after one window)\n", strings.Join(ramp, ", "))
+	fmt.Printf("          wind-down after stop at %s: %s units (%.1fx shorter than 40)\n",
+		stop, run.Stats.WindDown, 40/run.Stats.WindDown.Float64())
+	fmt.Printf("          peak buffered tasks at any node: %d\n", run.Stats.MaxHeld)
+	if *ganttOut != "" {
+		svg := bwc.GanttSVG(run.Trace, bwc.RatInt(0), bwc.RatInt(130), 9)
+		check(os.WriteFile(*ganttOut, []byte(svg), 0o644))
+		fmt.Printf("          Gantt diagram written to %s\n", *ganttOut)
+	}
+	if *asciiFig {
+		fmt.Printf("Gantt excerpt (t in [0,60), 1 unit per cell):\n%s",
+			indent(bwc.GanttASCII(run.Trace, bwc.RatInt(0), bwc.RatInt(60), bwc.RatInt(1))))
+	}
+}
+
+func e5() {
+	fmt.Printf("paper:    on bandwidth-limited platforms the bottom-up method reduces many\n")
+	fmt.Printf("          forks unnecessarily; BW-First visits only the nodes of the final schedule\n")
+	fmt.Printf("measured (30 seeds each):\n")
+	fmt.Printf("          %-20s %8s %14s %16s\n", "family", "nodes", "visited(avg)", "bottomup-touch")
+	for _, k := range []bwc.PlatformKind{bwc.BandwidthLimited, bwc.Uniform, bwc.ComputeLimited} {
+		for _, n := range []int{50, 200} {
+			sumV, sumT := 0, 0
+			for seed := int64(0); seed < 30; seed++ {
+				tr := bwc.GeneratePlatform(k, n, seed)
+				sumV += bwc.Solve(tr).VisitedCount
+				sumT += bwc.BottomUp(tr).NodesTouched
+			}
+			fmt.Printf("          %-20v %8d %14.1f %16.1f\n", k, n, float64(sumV)/30, float64(sumT)/30)
+		}
+	}
+	fmt.Printf("sweep over bottleneck severity (100 nodes, 30 seeds; links scaled by s):\n")
+	fmt.Printf("          %-10s %14s\n", "severity", "visited(avg)")
+	for _, sev := range []int64{1, 2, 4, 8, 16} {
+		sumV := 0
+		for seed := int64(0); seed < 30; seed++ {
+			sumV += bwc.Solve(bwc.GenerateBandwidthSeverity(100, sev, seed)).VisitedCount
+		}
+		fmt.Printf("          %-10d %14.1f\n", sev, float64(sumV)/30)
+	}
+}
+
+func e6() {
+	const trials = 120
+	agree := 0
+	for seed := int64(0); seed < trials; seed++ {
+		tr := bwc.GeneratePlatform(bwc.Uniform, 3+int(seed%28), seed)
+		if _, err := bwc.Verify(tr); err == nil {
+			agree++
+		}
+	}
+	fmt.Printf("paper:    Proposition 2 (BW-First attains the optimal steady-state throughput)\n")
+	fmt.Printf("measured: BW-First = bottom-up = exact LP = distributed run on %d/%d random trees\n", agree, trials)
+}
+
+func e7() {
+	tr := bwc.PaperExampleTree()
+	res := bwc.Solve(tr)
+	fmt.Printf("paper:    the interleaved schedule minimizes buffered tasks, shortening wind-down\n")
+	fmt.Printf("measured: %-18s %14s %16s\n", "strategy", "max-buffered", "wind-down")
+	for _, mode := range []struct {
+		name  string
+		block bool
+		burst bool
+	}{
+		{"interleaved", false, false},
+		{"block order", true, false},
+		{"burst timing", false, true},
+		{"block + burst", true, true},
+	} {
+		s, err := bwc.BuildSchedule(res, bwc.ScheduleOptions{Block: mode.block})
+		check(err)
+		run, err := bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(115), BurstRoot: mode.burst, SkipIntervals: true})
+		check(err)
+		fmt.Printf("          %-18s %14d %16s\n", mode.name, run.Stats.MaxHeld, run.Stats.WindDown)
+	}
+}
+
+func e8() {
+	tr := bwc.PaperExampleTree()
+	stop := bwc.RatInt(115)
+	res := bwc.Solve(tr)
+	s, err := bwc.BuildSchedule(res)
+	check(err)
+	ev, err := bwc.Simulate(s, bwc.SimOptions{Stop: stop, SkipIntervals: true})
+	check(err)
+	dd, err := bwc.SimulateDemandDriven(tr, bwc.DemandOptions{Stop: stop, SkipIntervals: true})
+	check(err)
+	di, err := bwc.SimulateDemandDriven(tr, bwc.DemandOptions{Stop: stop, SkipIntervals: true, Interruptible: true})
+	check(err)
+	dr, err := bwc.SimulateDemandDriven(tr, bwc.DemandOptions{Stop: stop, SkipIntervals: true, Interruptible: true, Resume: true})
+	check(err)
+
+	ramp := func(completions *bwc.Trace, root bwc.NodeID) string {
+		var out []string
+		for k := int64(0); (k+1)*40 <= 115; k++ {
+			n := 0
+			for _, c := range completions.Completions {
+				if c.Node != root && !c.At.Less(bwc.RatInt(k*40)) && c.At.Less(bwc.RatInt((k+1)*40)) {
+					n++
+				}
+			}
+			out = append(out, fmt.Sprintf("%d", n))
+		}
+		return strings.Join(out, ", ")
+	}
+	fmt.Printf("paper:    demand-driven protocols reach steady state slowly and buffer more ([12], §2/§7)\n")
+	fmt.Printf("measured on the §8 tree (stop at 115, rootless tasks per 40-unit window):\n")
+	fmt.Printf("          %-14s ramp: %-14s max-buffered: %d  wind-down: %s\n",
+		"event-driven", ramp(ev.Trace, tr.Root()), ev.Stats.MaxHeld, ev.Stats.WindDown)
+	fmt.Printf("          %-14s ramp: %-14s max-buffered: %d  wind-down: %s\n",
+		"demand-driven", ramp(dd.Trace, tr.Root()), dd.Stats.MaxHeld, dd.Stats.WindDown)
+	fmt.Printf("          %-14s ramp: %-14s max-buffered: %d  wind-down: %s (%d aborts)\n",
+		"interruptible", ramp(di.Trace, tr.Root()), di.Stats.MaxHeld, di.Stats.WindDown, di.Stats.Aborted)
+	fmt.Printf("          %-14s ramp: %-14s max-buffered: %d  wind-down: %s (%d preemptions, progress kept)\n",
+		"+resume", ramp(dr.Trace, tr.Root()), dr.Stats.MaxHeld, dr.Stats.WindDown, dr.Stats.Aborted)
+}
+
+func e9() {
+	fmt.Printf("paper:    BW-First messages are single numbers; the procedure's cost is negligible\n")
+	fmt.Printf("measured: %-8s %10s %10s %12s\n", "nodes", "visited", "messages", "msgs/visited")
+	for _, n := range []int{10, 100, 1000, 5000} {
+		tr := bwc.GeneratePlatform(bwc.ComputeLimited, n, 5)
+		res := bwc.SolveDistributed(tr)
+		fmt.Printf("          %-8d %10d %10d %12.2f\n",
+			n, res.VisitedCount, res.Messages, float64(res.Messages)/float64(res.VisitedCount))
+	}
+}
+
+func e10() {
+	base, err := bwc.ParsePlatformString(`
+m  -  -   inf
+w1 m  1/2 1
+w2 m  1/2 1
+`)
+	check(err)
+	fmt.Printf("paper:    3-node platform, c = d = 1/2: true optimum 2 tasks/unit, folded model 1\n")
+	p, err := bwc.WithUniformResultReturn(base, bwc.Rat(1, 2))
+	check(err)
+	opt, _, err := p.OptimalThroughput()
+	check(err)
+	folded, err := p.FoldedThroughput()
+	check(err)
+	fmt.Printf("measured: true optimum %s, folded model %s\n", opt, folded)
+	fmt.Printf("sweep of result/input ratio (d with c = 1/2):\n")
+	fmt.Printf("          %-8s %12s %12s\n", "d", "true", "folded")
+	for _, d := range []bwc.Rational{bwc.RatInt(0), bwc.Rat(1, 8), bwc.Rat(1, 4), bwc.Rat(1, 2), bwc.RatInt(1)} {
+		p, err := bwc.WithUniformResultReturn(base, d)
+		check(err)
+		opt, _, err := p.OptimalThroughput()
+		check(err)
+		folded, err := p.FoldedThroughput()
+		check(err)
+		fmt.Printf("          %-8s %12s %12s\n", d, opt, folded)
+	}
+}
+
+func e11() {
+	fmt.Printf("paper:    BW-First determines the throughput of infinite trees (the bottom-up\n")
+	fmt.Printf("          method cannot); finite trees perform almost as well as infinite ones [3]\n")
+	spec := bwc.InfiniteSpec{Fanout: 1, Proc: bwc.RatInt(4), Comm: bwc.Rat(1, 2)}
+	limit, err := bwc.InfiniteRate(spec)
+	check(err)
+	fmt.Printf("measured (infinite chain, w=4, c=1/2): infinite rate = 1/w + 1/c = %s tasks/unit\n", limit)
+	fmt.Printf("          truncations: depth  rate       %%of-infinite\n")
+	for d := 0; d <= 10; d++ {
+		x, err := bwc.TruncatedRate(spec, d)
+		check(err)
+		fmt.Printf("                       %-5d  %-9s  %6.2f%%\n", d, x, 100*x.Float64()/limit.Float64())
+	}
+}
+
+func e12() {
+	tr := bwc.PaperExampleTree()
+	fmt.Printf("paper:    %q for makespan minimization (Section 2):\n", "a good heuristic candidate")
+	fmt.Printf("          short start-up/wind-down around an optimal steady state\n")
+	fmt.Printf("measured on the Section 8 tree (lower bound = N / (10/9)):\n")
+	fmt.Printf("          %-8s %14s %14s %10s\n", "N", "makespan", "lower-bound", "ratio")
+	for _, n := range []int{20, 100, 400, 1000} {
+		res, err := bwc.BatchMakespan(tr, n)
+		check(err)
+		fmt.Printf("          %-8d %14s %14s %10.4f\n", n, res.Makespan, res.LowerBound, res.Ratio)
+	}
+	dd, err := bwc.BatchMakespanDemandDriven(tr, 400)
+	check(err)
+	ev, err := bwc.BatchMakespan(tr, 400)
+	check(err)
+	fmt.Printf("          at N=400: event-driven ratio %.4f vs demand-driven %.4f\n", ev.Ratio, dd.Ratio)
+}
+
+func e13() {
+	fmt.Printf("paper:    trees avoid routing choices (Section 1); the general-graph optimum\n")
+	fmt.Printf("          is the LP of Banino et al. [2] — how much does the restriction cost?\n")
+	const trials = 25
+	type acc struct {
+		ratioSum float64
+		exact    int
+	}
+	stats := map[string]*acc{}
+	for _, k := range []bwc.OverlayKind{bwc.OverlayGreedy, bwc.OverlayBFS, bwc.OverlayDFS} {
+		stats[k.String()] = &acc{}
+	}
+	bestExact := 0
+	ls := &acc{}
+	score := func(tr *bwc.Tree) bwc.Rational { return bwc.Solve(tr).Throughput }
+	for seed := int64(0); seed < trials; seed++ {
+		g := bwc.RandomGraph(seed, 14, 10, 0.2)
+		opt, err := bwc.GraphThroughput(g)
+		check(err)
+		best := bwc.RatInt(0)
+		var bestTree *bwc.Tree
+		for _, k := range []bwc.OverlayKind{bwc.OverlayGreedy, bwc.OverlayBFS, bwc.OverlayDFS} {
+			tr, err := g.SpanningTree(k)
+			check(err)
+			thr := bwc.Solve(tr).Throughput
+			a := stats[k.String()]
+			a.ratioSum += thr.Float64() / opt.Float64()
+			if thr.Equal(opt) {
+				a.exact++
+			}
+			if best.Less(thr) {
+				best, bestTree = thr, tr
+			}
+		}
+		if best.Equal(opt) {
+			bestExact++
+		}
+		improved, _, err := g.ImproveOverlay(bestTree, 10, score)
+		check(err)
+		ithr := score(improved)
+		ls.ratioSum += ithr.Float64() / opt.Float64()
+		if ithr.Equal(opt) {
+			ls.exact++
+		}
+	}
+	fmt.Printf("measured over %d random graphs (14 nodes, ~10 extra links):\n", trials)
+	fmt.Printf("          %-8s %18s %18s\n", "overlay", "mean thr/optimum", "matches optimum")
+	for _, k := range []bwc.OverlayKind{bwc.OverlayGreedy, bwc.OverlayBFS, bwc.OverlayDFS} {
+		a := stats[k.String()]
+		fmt.Printf("          %-8s %17.1f%% %15d/%d\n", k, 100*a.ratioSum/trials, a.exact, trials)
+	}
+	fmt.Printf("          %-8s %17.1f%% %15d/%d  (edge-swap hill climbing from the best)\n",
+		"local", 100*ls.ratioSum/trials, ls.exact, trials)
+	fmt.Printf("          best-of-three overlay matches the graph optimum on %d/%d graphs\n", bestExact, trials)
+}
+
+func e14() {
+	fmt.Printf("paper:    future work: measure the overhead of the global re-synchronization\n")
+	fmt.Printf("          when the root re-initiates BW-First after a platform change (§5/§9)\n")
+	before := bwc.PaperExampleTree()
+	after, err := before.WithCommTime(before.MustLookup("P1"), bwc.RatInt(4))
+	check(err)
+	sBefore, err := bwc.BuildSchedule(bwc.Solve(before))
+	check(err)
+	resAfter := bwc.Solve(after)
+	sAfter, err := bwc.BuildSchedule(resAfter)
+	check(err)
+
+	// The link to P1 degrades at t=120. Sweep the detection/renegotiation
+	// lag: the schedule switches at 120+lag. Measure tasks completed in
+	// the disturbed window [120, 280) against the ideal (new optimum over
+	// the whole window).
+	windowEnd := int64(280)
+	ideal := resAfter.Throughput.Mul(bwc.RatInt(windowEnd - 120))
+	fmt.Printf("measured on the §8 tree (link to P1: 1/2 -> 4 at t=120; old rate 10/9, new %s):\n",
+		resAfter.Throughput)
+	fmt.Printf("          %-10s %18s %18s %10s\n", "lag", "tasks in window", "ideal", "overhead")
+	for _, lag := range []int64{0, 20, 40, 80} {
+		run, err := bwc.SimulateDynamic(bwc.DynOptions{
+			Phases: []bwc.DynPhase{
+				{At: bwc.RatInt(0), Schedule: sBefore},
+				{At: bwc.RatInt(120 + lag), Schedule: sAfter},
+			},
+			Physics:       []bwc.DynPhysics{{At: bwc.RatInt(120), Tree: after}},
+			Stop:          bwc.RatInt(400),
+			SkipIntervals: true,
+		})
+		check(err)
+		got := run.Trace.CompletedIn(bwc.RatInt(120), bwc.RatInt(windowEnd))
+		overhead := ideal.Sub(bwc.RatInt(int64(got)))
+		fmt.Printf("          %-10d %18d %18s %10s\n", lag, got, ideal, overhead)
+		if run.Dropped > 0 {
+			fmt.Printf("          (lag %d: %d stragglers re-routed or dropped)\n", lag, run.Dropped)
+		}
+	}
+	fmt.Printf("          the BW-First messages themselves are ~%d scalars (E9): the real cost\n", 16)
+	fmt.Printf("          is the detection lag, during which stale schedules overdrive dead links\n")
+}
+
+func e15() {
+	fmt.Printf("paper:    the exact period T \"might be embarrassingly long\" (§6); we bound it\n")
+	fmt.Printf("          by rounding rates down to denominators dividing D (loss <= n/D)\n")
+	// A platform with awkward prime denominators: exact T explodes.
+	tr := bwc.NewBuilder().
+		Root("m", bwc.RatInt(7)).
+		Child("m", "a", bwc.Rat(1, 2), bwc.RatInt(11)).
+		Child("m", "b", bwc.Rat(2, 3), bwc.RatInt(13)).
+		Child("a", "c", bwc.Rat(3, 5), bwc.RatInt(17)).
+		Child("b", "d", bwc.Rat(4, 7), bwc.RatInt(19)).
+		MustBuild()
+	res := bwc.Solve(tr)
+	exact, err := bwc.BuildSchedule(res, bwc.ScheduleOptions{MaxPatternLen: 8})
+	check(err)
+	fmt.Printf("measured: optimum %s tasks/unit, exact tree period T = %s\n", res.Throughput, exact.TreePeriod())
+	fmt.Printf("          %-8s %14s %16s %10s\n", "D", "period", "throughput", "loss")
+	for _, den := range []int64{10, 100, 1000, 10000} {
+		s, thr, err := bwc.QuantizeSchedule(res, den)
+		check(err)
+		loss := res.Throughput.Sub(thr)
+		fmt.Printf("          %-8d %14s %16s %9.2f%%\n", den, s.TreePeriod(), thr,
+			100*loss.Float64()/res.Throughput.Float64())
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "    " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

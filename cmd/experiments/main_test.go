@@ -1,0 +1,203 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureExperiment runs one experiment function with stdout redirected
+// and returns the printed report.
+func captureExperiment(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 1<<20)
+		n := 0
+		for {
+			m, err := r.Read(buf[n:])
+			n += m
+			if err != nil {
+				break
+			}
+		}
+		outCh <- string(buf[:n])
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-outCh
+}
+
+func TestE1(t *testing.T) {
+	out := captureExperiment(t, e1)
+	if !strings.Contains(out, "200/200") {
+		t.Fatalf("E1: %s", out)
+	}
+}
+
+func TestE2(t *testing.T) {
+	out := captureExperiment(t, e2)
+	if !strings.Contains(out, "measured: P2 P1 P2 P0 P2 P1 P2") {
+		t.Fatalf("E2: %s", out)
+	}
+}
+
+func TestE3(t *testing.T) {
+	out := captureExperiment(t, e3)
+	for _, frag := range []string{"throughput 10/9", "P5, P9, P10, P11", "P0 -> P1"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("E3 missing %q: %s", frag, out)
+		}
+	}
+}
+
+func TestE4(t *testing.T) {
+	svg := filepath.Join(t.TempDir(), "fig5.svg")
+	*ganttOut = svg
+	*asciiFig = true
+	defer func() { *ganttOut = ""; *asciiFig = false }()
+	out := captureExperiment(t, e4)
+	for _, frag := range []string{"T = 360", "rootless rate 1/unit", "30, 40", "93/10"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("E4 missing %q: %s", frag, out)
+		}
+	}
+	if _, err := os.Stat(svg); err != nil {
+		t.Fatalf("gantt svg not written: %v", err)
+	}
+}
+
+func TestE6(t *testing.T) {
+	out := captureExperiment(t, e6)
+	if !strings.Contains(out, "120/120") {
+		t.Fatalf("E6: %s", out)
+	}
+}
+
+func TestE7(t *testing.T) {
+	out := captureExperiment(t, e7)
+	if !strings.Contains(out, "interleaved") || !strings.Contains(out, "block") {
+		t.Fatalf("E7: %s", out)
+	}
+}
+
+func TestE8(t *testing.T) {
+	out := captureExperiment(t, e8)
+	for _, frag := range []string{"event-driven", "demand-driven", "interruptible", "aborts"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("E8 missing %q: %s", frag, out)
+		}
+	}
+}
+
+func TestE10(t *testing.T) {
+	out := captureExperiment(t, e10)
+	if !strings.Contains(out, "true optimum 2, folded model 1") {
+		t.Fatalf("E10: %s", out)
+	}
+}
+
+func TestE11(t *testing.T) {
+	out := captureExperiment(t, e11)
+	if !strings.Contains(out, "9/4") || !strings.Contains(out, "100.00%") {
+		t.Fatalf("E11: %s", out)
+	}
+}
+
+func TestE12(t *testing.T) {
+	out := captureExperiment(t, e12)
+	if !strings.Contains(out, "1000") || !strings.Contains(out, "ratio") {
+		t.Fatalf("E12: %s", out)
+	}
+}
+
+// TestE5AndE9 are slower sweeps; run them together with a smoke check.
+func TestE5AndE9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiments skipped in -short mode")
+	}
+	out := captureExperiment(t, e5)
+	if !strings.Contains(out, "bandwidth-limited") {
+		t.Fatalf("E5: %s", out)
+	}
+	out = captureExperiment(t, e9)
+	if !strings.Contains(out, "5000") {
+		t.Fatalf("E9: %s", out)
+	}
+}
+
+func TestE13(t *testing.T) {
+	out := captureExperiment(t, e13)
+	if !strings.Contains(out, "greedy") || !strings.Contains(out, "matches optimum") {
+		t.Fatalf("E13: %s", out)
+	}
+}
+
+func TestE14(t *testing.T) {
+	out := captureExperiment(t, e14)
+	if !strings.Contains(out, "lag") || !strings.Contains(out, "overhead") {
+		t.Fatalf("E14: %s", out)
+	}
+}
+
+func TestE15(t *testing.T) {
+	out := captureExperiment(t, e15)
+	if !strings.Contains(out, "323323") || !strings.Contains(out, "loss") {
+		t.Fatalf("E15: %s", out)
+	}
+}
+
+// TestFullTranscript pins the entire reproduction report: every experiment
+// is deterministic (seeded generators, exact arithmetic, deterministic
+// event ordering), so the transcript must match EXPERIMENTS_RAW.txt
+// byte for byte. Regenerate with: go run ./cmd/experiments > EXPERIMENTS_RAW.txt
+func TestFullTranscript(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full transcript skipped in -short mode")
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "EXPERIMENTS_RAW.txt"))
+	if err != nil {
+		t.Fatalf("EXPERIMENTS_RAW.txt missing: %v", err)
+	}
+	var got strings.Builder
+	runAll := func() {
+		for _, e := range []struct {
+			id, title string
+			run       func()
+		}{
+			{"E1", "Fork-graph reduction (Prop. 1 / Fig. 2)", e1},
+			{"E2", "Interleaved local schedule (Fig. 3)", e2},
+			{"E3", "Example tree: transactions and rates (Fig. 4)", e3},
+			{"E4", "Gantt, start-up and wind-down (Fig. 5 / §8)", e4},
+			{"E5", "Depth-first prunes unused nodes (§5)", e5},
+			{"E6", "Optimality cross-check: BW-First = bottom-up = LP (§5)", e6},
+			{"E7", "Buffering ablation: interleaved vs block (§6.3)", e7},
+			{"E8", "Event-driven vs demand-driven start-up (§7 vs [12])", e8},
+			{"E9", "Protocol cost of the distributed procedure (§5)", e9},
+			{"E10", "Result-return counter-example (§9)", e10},
+			{"E11", "Infinite network trees (§5, [3])", e11},
+			{"E12", "Finite batches: makespan heuristic (§2, Dutot)", e12},
+			{"E13", "Tree overlays vs the general-graph optimum (§1, [2])", e13},
+			{"E14", "Re-negotiation overhead under platform dynamics (§5, future work)", e14},
+			{"E15", "Quantized schedules vs embarrassingly long periods (§6)", e15},
+		} {
+			fmt.Printf("=== %s: %s ===\n", e.id, e.title)
+			e.run()
+			fmt.Println()
+		}
+	}
+	got.WriteString(captureExperiment(t, runAll))
+	if got.String() != string(want) {
+		t.Fatalf("transcript drifted from EXPERIMENTS_RAW.txt (regenerate if intentional); got %d bytes, want %d",
+			got.Len(), len(want))
+	}
+}

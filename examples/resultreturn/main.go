@@ -1,0 +1,77 @@
+// Result return (Section 9): the paper's counter-example showing that
+// folding the result-return time into the task communication time — the
+// simplification used by Beaumont et al. and Kreaseck et al. — is wrong,
+// because it ignores the receive-port resource. This example walks through
+// the 3-node platform and then sweeps the result/input size ratio on a
+// larger platform to show where the folded model's error comes from.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bwc"
+)
+
+func main() {
+	// The paper's platform: a master with no computing power, two
+	// children computing 1 task/unit each; sending a task takes 1/2,
+	// returning its result takes 1/2.
+	platform := bwc.NewBuilder().
+		RootSwitch("master").
+		Child("master", "w1", bwc.Rat(1, 2), bwc.RatInt(1)).
+		Child("master", "w2", bwc.Rat(1, 2), bwc.RatInt(1)).
+		MustBuild()
+
+	p, err := bwc.WithUniformResultReturn(platform, bwc.Rat(1, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trueOpt, alphas, err := p.OptimalThroughput()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("separate flows (correct model): %s tasks/unit\n", trueOpt)
+	for i := 0; i < platform.Len(); i++ {
+		if alphas[i].IsPos() {
+			fmt.Printf("  %s computes %s/unit\n", platform.Name(bwc.NodeID(i)), alphas[i])
+		}
+	}
+	fmt.Printf("  master send port:    2 x 1/2 x 1 = 1 (saturated, but feasible)\n")
+	fmt.Printf("  master receive port: 2 x 1/2 x 1 = 1 (saturated, but feasible)\n\n")
+
+	folded, err := p.FoldedThroughput()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("folded model (c' = c + d = 1):  %s task/unit\n", folded)
+	fmt.Printf("  the folded model charges the result transfer against the SEND port,\n")
+	fmt.Printf("  so the master appears able to serve only one worker per time unit —\n")
+	fmt.Printf("  underestimating the platform by a factor of %.0fx.\n\n",
+		trueOpt.Float64()/folded.Float64())
+
+	// Sweep the result/input ratio on the Section 8 tree: the folded
+	// model drifts away from the truth as results grow.
+	big := bwc.PaperExampleTree()
+	fmt.Printf("sweep on the 12-node Section 8 platform (result size d per task):\n")
+	fmt.Printf("%-8s %12s %12s %10s\n", "d", "true", "folded", "error")
+	for _, d := range []bwc.Rational{bwc.RatInt(0), bwc.Rat(1, 4), bwc.Rat(1, 2), bwc.RatInt(1), bwc.RatInt(2)} {
+		pp, err := bwc.WithUniformResultReturn(big, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trueV, _, err := pp.OptimalThroughput()
+		if err != nil {
+			log.Fatal(err)
+		}
+		foldV, err := pp.FoldedThroughput()
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * (trueV.Float64() - foldV.Float64()) / trueV.Float64()
+		fmt.Printf("%-8s %12s %12s %9.1f%%\n", d, trueV, foldV, errPct)
+	}
+	fmt.Printf("\nconclusion: scheduling with result return is still open (Section 9);\n")
+	fmt.Printf("the LP gives the true optimum but no bandwidth-centric schedule yet.\n")
+}

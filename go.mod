@@ -1,0 +1,3 @@
+module bwc
+
+go 1.22

@@ -1,0 +1,66 @@
+// Package bottomup implements the baseline throughput method of Beaumont
+// et al. [5], reassessed in Section 4 of the paper: iteratively reduce each
+// deepest fork graph (a node whose children are all leaves) into a single
+// node of equivalent computing power via Proposition 1, until a single node
+// remains. Its rate is the optimal steady-state throughput of the tree.
+//
+// Unlike BW-First, the bottom-up method always touches every node of the
+// platform — the inefficiency on bandwidth-limited platforms that motivates
+// Section 5 — so the implementation counts its work for the E5 experiment.
+package bottomup
+
+import (
+	"bwc/internal/fork"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// Result reports the bottom-up reduction outcome.
+type Result struct {
+	Tree *tree.Tree
+	// Throughput is the computing rate of the final reduced node, capped
+	// by nothing (the root has no incoming link).
+	Throughput rat.R
+	// EquivalentRate[id] is the reduced computing rate of the subtree
+	// rooted at id, before the cap of id's incoming link is applied by
+	// id's parent.
+	EquivalentRate []rat.R
+	// Reductions is the number of fork reductions performed (= number of
+	// internal nodes).
+	Reductions int
+	// NodesTouched counts every node processed; the bottom-up method
+	// touches all of them, by construction.
+	NodesTouched int
+}
+
+// Solve runs the bottom-up method on t.
+func Solve(t *tree.Tree) *Result {
+	res := &Result{
+		Tree:           t,
+		EquivalentRate: make([]rat.R, t.Len()),
+	}
+	if t.Len() == 0 {
+		res.Throughput = rat.Zero
+		return res
+	}
+	// Post-order reduction is exactly the iterated "reduce the deepest
+	// forks" procedure: by the time a node is processed all its children
+	// hold their equivalent rates.
+	for _, id := range t.PostOrder(t.Root()) {
+		res.NodesTouched++
+		children := t.Children(id)
+		if len(children) == 0 {
+			res.EquivalentRate[id] = t.Rate(id)
+			continue
+		}
+		cs := make([]fork.Child, len(children))
+		for j, c := range children {
+			cs[j] = fork.Child{Comm: t.CommTime(c), Rate: res.EquivalentRate[c]}
+		}
+		red := fork.Reduce(t.Rate(id), cs)
+		res.EquivalentRate[id] = red.Rate
+		res.Reductions++
+	}
+	res.Throughput = res.EquivalentRate[t.Root()]
+	return res
+}

@@ -1,0 +1,90 @@
+package bottomup
+
+import (
+	"testing"
+
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+	"bwc/internal/treegen"
+)
+
+func TestSingleNode(t *testing.T) {
+	tr := tree.NewBuilder().Root("P0", rat.FromInt(4)).MustBuild()
+	res := Solve(tr)
+	if !res.Throughput.Equal(rat.New(1, 4)) {
+		t.Fatalf("throughput = %s", res.Throughput)
+	}
+	if res.Reductions != 0 || res.NodesTouched != 1 {
+		t.Fatalf("work: %d reductions, %d touched", res.Reductions, res.NodesTouched)
+	}
+}
+
+func TestForkReduction(t *testing.T) {
+	// Same fork as the bwfirst test: throughput 13/12.
+	tr := tree.NewBuilder().
+		Root("P0", rat.FromInt(3)).
+		Child("P0", "P1", rat.One, rat.Two).
+		Child("P0", "P2", rat.Two, rat.One).
+		Child("P0", "P3", rat.FromInt(4), rat.One).
+		MustBuild()
+	res := Solve(tr)
+	if !res.Throughput.Equal(rat.New(13, 12)) {
+		t.Fatalf("throughput = %s, want 13/12", res.Throughput)
+	}
+	if res.Reductions != 1 {
+		t.Fatalf("reductions = %d", res.Reductions)
+	}
+	if res.NodesTouched != 4 {
+		t.Fatalf("touched = %d", res.NodesTouched)
+	}
+}
+
+func TestTwoLevelReduction(t *testing.T) {
+	// g's subtree reduces to 1/100 + min capacity...; then the root fork
+	// applies the link cap b=1/2. Cross-checked value from bwfirst test.
+	tr := tree.NewBuilder().
+		Root("P0", rat.FromInt(100)).
+		Child("P0", "g", rat.Two, rat.FromInt(100)).
+		Child("g", "w1", rat.New(1, 10), rat.New(1, 10)).
+		Child("g", "w2", rat.New(1, 10), rat.New(1, 10)).
+		MustBuild()
+	res := Solve(tr)
+	want := rat.New(1, 100).Add(rat.New(1, 2))
+	if !res.Throughput.Equal(want) {
+		t.Fatalf("throughput = %s, want %s", res.Throughput, want)
+	}
+	// g's own equivalent rate, before the root link cap: feeding w1 fully
+	// costs c·r = (1/10)·10 = 1 and saturates g's whole send port, so w2
+	// starves; eq = 1/100 + 10.
+	g := tr.MustLookup("g")
+	gw := res.EquivalentRate[g]
+	wantG := rat.New(1, 100).Add(rat.FromInt(10))
+	if !gw.Equal(wantG) {
+		t.Fatalf("eq rate of g = %s, want %s", gw, wantG)
+	}
+}
+
+func TestAlwaysTouchesEveryNode(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := treegen.Generate(treegen.BandwidthLimited, 50, seed)
+		res := Solve(tr)
+		if res.NodesTouched != tr.Len() {
+			t.Fatalf("seed %d: touched %d of %d", seed, res.NodesTouched, tr.Len())
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	res := Solve(&tree.Tree{})
+	if !res.Throughput.IsZero() {
+		t.Fatalf("empty throughput = %s", res.Throughput)
+	}
+}
+
+func TestSwitchOnly(t *testing.T) {
+	tr := tree.NewBuilder().RootSwitch("a").SwitchChild("a", "b", rat.One).MustBuild()
+	res := Solve(tr)
+	if !res.Throughput.IsZero() {
+		t.Fatalf("throughput = %s", res.Throughput)
+	}
+}

@@ -1,0 +1,43 @@
+package bwfirst
+
+import (
+	"runtime"
+	"sync"
+
+	"bwc/internal/tree"
+)
+
+// SolveBatch solves many platforms concurrently with a bounded worker
+// pool and returns the results in input order. Topological studies
+// (Section 5) score thousands of candidate overlays; each Solve is
+// independent and cheap, so the sweep parallelizes embarrassingly.
+// workers <= 0 uses GOMAXPROCS.
+func SolveBatch(trees []*tree.Tree, workers int) []*Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(trees) {
+		workers = len(trees)
+	}
+	out := make([]*Result, len(trees))
+	if len(trees) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = Solve(trees[i])
+			}
+		}()
+	}
+	for i := range trees {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

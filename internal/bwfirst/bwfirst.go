@@ -1,0 +1,283 @@
+// Package bwfirst implements the paper's central contribution: the
+// BW-First() procedure (Section 5, Algorithm 1, Proposition 2) — a
+// depth-first traversal of the platform tree driven by two-phase
+// transactions that computes the maximum steady-state throughput while
+// visiting only the nodes that are actually used by the optimal schedule.
+//
+// A transaction between a parent and a child is a proposal β (tasks per
+// time unit the parent can supply) answered by an acknowledgment θ (tasks
+// per time unit the child's subtree could not consume). Each node keeps as
+// many tasks as it can compute (α = min(r, λ)), then opens transactions
+// with its children in bandwidth-centric order (increasing communication
+// time) while it still has undelegated tasks (δ > 0) and send-port time
+// (τ > 0). The proposal to child i is β_i = min(δ, τ·b_i), and after the
+// child acknowledges θ_i the parent updates δ -= (β_i−θ_i) and
+// τ -= (β_i−θ_i)·c_i.
+//
+// The root is fed by a virtual parent proposing
+// t_max = r_root + max{b_i | i ∈ children(root)}, an upper bound on what
+// the whole tree can consume under the single-port model; the optimal
+// throughput is t_max − θ_root.
+package bwfirst
+
+import (
+	"fmt"
+	"strings"
+
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// Transaction records one closed two-phase transaction of the procedure,
+// in the order the transactions were opened (the depth-first order of
+// Figure 4(b)).
+type Transaction struct {
+	Parent tree.NodeID
+	Child  tree.NodeID
+	Beta   rat.R // proposal: tasks/unit offered to Child
+	Theta  rat.R // acknowledgment: tasks/unit Child's subtree could not take
+}
+
+// Accepted returns β − θ, the task rate the child's subtree consumes.
+func (tr Transaction) Accepted() rat.R { return tr.Beta.Sub(tr.Theta) }
+
+// NodeState holds the rational activity variables a node knows at the end
+// of the procedure — exactly the local information from which Section 6
+// reconstructs the schedule.
+type NodeState struct {
+	Visited bool
+	// Lambda is the proposal the node received from its parent (t_max for
+	// the root).
+	Lambda rat.R
+	// Alpha is the node's own computing rate in the optimal steady state
+	// (η_0 in Section 6).
+	Alpha rat.R
+	// Theta is the acknowledgment returned to the parent.
+	Theta rat.R
+	// RecvRate is η_{-1} = λ − θ, the tasks per time unit the node
+	// receives from its parent in steady state.
+	RecvRate rat.R
+	// SendRates[j] is η_j, the tasks per time unit sent to the j-th child
+	// (indexed like tree.Children(id), i.e. insertion order).
+	SendRates []rat.R
+	// TauLeft is the unused fraction of the node's send port.
+	TauLeft rat.R
+}
+
+// Result is the outcome of running BW-First on a tree.
+type Result struct {
+	Tree *tree.Tree
+	// TMax is the virtual parent's proposal to the root.
+	TMax rat.R
+	// Throughput is the optimal steady-state task rate of the tree:
+	// TMax − θ_root.
+	Throughput rat.R
+	// Nodes is indexed by tree.NodeID.
+	Nodes []NodeState
+	// Transactions lists every closed transaction in opening order.
+	Transactions []Transaction
+	// VisitedCount is the number of nodes the procedure visited; nodes
+	// not visited take no part in the final schedule (their subtree can be
+	// pruned without changing the throughput).
+	VisitedCount int
+}
+
+// Visited reports whether node id was visited by the procedure.
+func (r *Result) Visited(id tree.NodeID) bool { return r.Nodes[id].Visited }
+
+// UnvisitedNodes returns the nodes the traversal never reached, in ID
+// order.
+func (r *Result) UnvisitedNodes() []tree.NodeID {
+	var out []tree.NodeID
+	for id := range r.Nodes {
+		if !r.Nodes[id].Visited {
+			out = append(out, tree.NodeID(id))
+		}
+	}
+	return out
+}
+
+// SendRate returns η for the edge parent(child)->child.
+func (r *Result) SendRate(child tree.NodeID) rat.R {
+	p := r.Tree.Parent(child)
+	if p == tree.None {
+		return rat.Zero
+	}
+	for j, c := range r.Tree.Children(p) {
+		if c == child {
+			return r.Nodes[p].SendRates[j]
+		}
+	}
+	panic("bwfirst: child not found under its parent")
+}
+
+// Solve runs the BW-First procedure on t and returns the complete result.
+func Solve(t *tree.Tree) *Result {
+	if t.Len() == 0 {
+		return &Result{Tree: t, TMax: rat.Zero, Throughput: rat.Zero}
+	}
+	res := &Result{
+		Tree:  t,
+		Nodes: make([]NodeState, t.Len()),
+	}
+	root := t.Root()
+	// Virtual parent: t_max = r_root + max child bandwidth (Section 5,
+	// proof of Proposition 2).
+	res.TMax = t.Rate(root).Add(t.MaxChildBandwidth(root))
+	theta := res.visit(root, res.TMax)
+	res.Throughput = res.TMax.Sub(theta)
+	for i := range res.Nodes {
+		if res.Nodes[i].Visited {
+			res.VisitedCount++
+		}
+	}
+	return res
+}
+
+// visit executes Algorithm 1 at node id with proposal lambda and returns
+// the acknowledgment θ.
+func (r *Result) visit(id tree.NodeID, lambda rat.R) rat.R {
+	t := r.Tree
+	st := &r.Nodes[id]
+	st.Visited = true
+	st.Lambda = lambda
+	st.SendRates = make([]rat.R, len(t.Children(id)))
+
+	// Keep as many tasks as possible for local computation.
+	st.Alpha = rat.Min(t.Rate(id), lambda)
+	delta := lambda.Sub(st.Alpha) // tasks still to delegate
+	tau := rat.One                // send-port time budget
+
+	// childPos maps a child to its position in the insertion-order slice
+	// so SendRates lines up with tree.Children.
+	children := t.Children(id)
+	pos := make(map[tree.NodeID]int, len(children))
+	for j, c := range children {
+		pos[c] = j
+	}
+
+	for _, c := range t.ChildrenByComm(id) {
+		if delta.IsZero() || tau.IsZero() {
+			break
+		}
+		b := t.Bandwidth(c)
+		beta := rat.Min(delta, tau.Mul(b))
+		txIdx := len(r.Transactions)
+		r.Transactions = append(r.Transactions, Transaction{Parent: id, Child: c, Beta: beta})
+		thetaC := r.visit(c, beta)
+		r.Transactions[txIdx].Theta = thetaC
+		accepted := beta.Sub(thetaC)
+		st.SendRates[pos[c]] = accepted
+		delta = delta.Sub(accepted)
+		tau = tau.Sub(accepted.Mul(t.CommTime(c)))
+	}
+	st.TauLeft = tau
+	st.Theta = delta
+	st.RecvRate = lambda.Sub(delta)
+	return delta
+}
+
+// ConsumeRate returns the total rate the node's subtree consumes:
+// η_{-1} = α + Σ_j η_j (the conservation law, equation (1)).
+func (s NodeState) ConsumeRate() rat.R {
+	sum := s.Alpha
+	for _, v := range s.SendRates {
+		sum = sum.Add(v)
+	}
+	return sum
+}
+
+// CheckInvariants verifies, for every node, the steady-state conservation
+// law (received = computed + forwarded), port feasibility (Σ c_j·η_j ≤ 1,
+// c·η_{-1} ≤ 1), and rate feasibility (α ≤ r). It returns nil when the
+// result is a feasible optimal steady state description.
+func (r *Result) CheckInvariants() error {
+	t := r.Tree
+	for id := 0; id < t.Len(); id++ {
+		st := r.Nodes[id]
+		nid := tree.NodeID(id)
+		if !st.Visited {
+			if !st.Alpha.IsZero() || !st.RecvRate.IsZero() {
+				return fmt.Errorf("node %s: unvisited but active", t.Name(nid))
+			}
+			continue
+		}
+		if t.Rate(nid).Less(st.Alpha) {
+			return fmt.Errorf("node %s: α=%s exceeds rate %s", t.Name(nid), st.Alpha, t.Rate(nid))
+		}
+		if !st.ConsumeRate().Equal(st.RecvRate) {
+			return fmt.Errorf("node %s: conservation law violated: recv %s != consume %s",
+				t.Name(nid), st.RecvRate, st.ConsumeRate())
+		}
+		spent := rat.Zero
+		for j, c := range t.Children(nid) {
+			if st.SendRates[j].IsNeg() {
+				return fmt.Errorf("node %s: negative send rate to %s", t.Name(nid), t.Name(c))
+			}
+			spent = spent.Add(st.SendRates[j].Mul(t.CommTime(c)))
+		}
+		if rat.One.Less(spent) {
+			return fmt.Errorf("node %s: send port oversubscribed: %s > 1", t.Name(nid), spent)
+		}
+		if !spent.Add(st.TauLeft).Equal(rat.One) {
+			return fmt.Errorf("node %s: τ accounting broken: %s + %s != 1", t.Name(nid), spent, st.TauLeft)
+		}
+		if nid != t.Root() {
+			if rat.One.Less(st.RecvRate.Mul(t.CommTime(nid))) {
+				return fmt.Errorf("node %s: receive port oversubscribed", t.Name(nid))
+			}
+		}
+	}
+	// Throughput equals the total computed rate.
+	total := rat.Zero
+	for id := 0; id < t.Len(); id++ {
+		total = total.Add(r.Nodes[id].Alpha)
+	}
+	if !total.Equal(r.Throughput) {
+		return fmt.Errorf("throughput %s != Σα %s", r.Throughput, total)
+	}
+	return nil
+}
+
+// TranscriptString renders the transaction log like Figure 4(b): one line
+// per transaction in opening order.
+func (r *Result) TranscriptString() string {
+	var b strings.Builder
+	for i, tx := range r.Transactions {
+		fmt.Fprintf(&b, "%2d. %s -> %s: propose β=%s, ack θ=%s (accepted %s)\n",
+			i+1, r.Tree.Name(tx.Parent), r.Tree.Name(tx.Child), tx.Beta, tx.Theta, tx.Accepted())
+	}
+	return b.String()
+}
+
+// Bottleneck identifies a saturated resource in the optimal steady state.
+type Bottleneck struct {
+	Node tree.NodeID
+	// Kind is "cpu" when the node computes at its full rate (α = r), or
+	// "port" when its send port is fully booked (τ = 0).
+	Kind string
+}
+
+// Bottlenecks lists the saturated resources of the optimal steady state —
+// the constraints that cap the throughput. Raising any non-bottleneck
+// resource cannot improve the platform; these are where an administrator
+// should invest (faster links at saturated ports, faster CPUs at
+// saturated processors).
+func (r *Result) Bottlenecks() []Bottleneck {
+	var out []Bottleneck
+	t := r.Tree
+	for id := 0; id < t.Len(); id++ {
+		st := r.Nodes[id]
+		if !st.Visited {
+			continue
+		}
+		nid := tree.NodeID(id)
+		if !t.Rate(nid).IsZero() && st.Alpha.Equal(t.Rate(nid)) {
+			out = append(out, Bottleneck{Node: nid, Kind: "cpu"})
+		}
+		if len(t.Children(nid)) > 0 && st.TauLeft.IsZero() {
+			out = append(out, Bottleneck{Node: nid, Kind: "port"})
+		}
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package bwfirst_test
+
+import (
+	"fmt"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+func ExampleSolve() {
+	platform := tree.NewBuilder().
+		Root("master", rat.FromInt(2)).
+		Child("master", "w1", rat.FromInt(1), rat.FromInt(3)).
+		Child("master", "w2", rat.FromInt(3), rat.FromInt(2)).
+		MustBuild()
+	res := bwfirst.Solve(platform)
+	fmt.Println("t_max:", res.TMax)
+	fmt.Println("throughput:", res.Throughput)
+	fmt.Print(res.TranscriptString())
+	// Output:
+	// t_max: 3/2
+	// throughput: 19/18
+	//  1. master -> w1: propose β=1, ack θ=2/3 (accepted 1/3)
+	//  2. master -> w2: propose β=2/9, ack θ=0 (accepted 2/9)
+}

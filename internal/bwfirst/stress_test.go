@@ -1,0 +1,79 @@
+package bwfirst
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwc/internal/bottomup"
+	"bwc/internal/lp"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// randRationalTree builds a random tree whose weights use awkward prime
+// denominators (7, 11, 13, ...), stressing the exact arithmetic and the
+// LCM machinery far beyond the tame generators in treegen.
+func randRationalTree(r *rand.Rand, n int) *tree.Tree {
+	dens := []int64{1, 2, 3, 5, 7, 11, 13}
+	randR := func() rat.R {
+		return rat.New(r.Int63n(12)+1, dens[r.Intn(len(dens))])
+	}
+	b := tree.NewBuilder()
+	b.Root("n0", randR())
+	names := []string{"n0"}
+	for i := 1; i < n; i++ {
+		parent := names[r.Intn(len(names))]
+		name := "n" + string(rune('0'+i%10)) + "x" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		if r.Intn(5) == 0 {
+			b.SwitchChild(parent, name, randR())
+		} else {
+			b.Child(parent, name, randR(), randR())
+		}
+		names = append(names, name)
+	}
+	return b.MustBuild()
+}
+
+// TestOracleAgreementOnAwkwardRationals: BW-First, the bottom-up
+// reduction, and the exact LP agree on trees whose rates have large prime
+// denominators, and the BW-First invariants hold.
+func TestOracleAgreementOnAwkwardRationals(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 60; trial++ {
+		tr := randRationalTree(r, 3+r.Intn(20))
+		res := Solve(tr)
+		if err := res.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, tr)
+		}
+		if bu := bottomup.Solve(tr); !bu.Throughput.Equal(res.Throughput) {
+			t.Fatalf("trial %d: bottom-up %s != %s\n%s", trial, bu.Throughput, res.Throughput, tr)
+		}
+		if trial%5 == 0 { // the LP is the slow oracle; sample it
+			opt, _, err := lp.OptimalThroughput(tr)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !opt.Equal(res.Throughput) {
+				t.Fatalf("trial %d: LP %s != %s\n%s", trial, opt, res.Throughput, tr)
+			}
+		}
+	}
+}
+
+// TestThroughputBounds: the optimum always lies within the trivial bounds
+// r_root <= ρ* <= min(Σ r_i, r_root + max b).
+func TestThroughputBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		tr := randRationalTree(r, 2+r.Intn(25))
+		res := Solve(tr)
+		root := tr.Root()
+		if res.Throughput.Less(tr.Rate(root)) {
+			t.Fatalf("trial %d: ρ %s below root rate %s", trial, res.Throughput, tr.Rate(root))
+		}
+		upper := rat.Min(tr.TotalRate(), tr.Rate(root).Add(tr.MaxChildBandwidth(root)))
+		if upper.Less(res.Throughput) {
+			t.Fatalf("trial %d: ρ %s above bound %s", trial, res.Throughput, upper)
+		}
+	}
+}

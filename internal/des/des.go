@@ -1,0 +1,153 @@
+// Package des is a small deterministic discrete-event simulation engine
+// over exact rational virtual time.
+//
+// The paper's schedules are exact rational objects (periods are integers,
+// rates are rationals); simulating them with float time would blur exactly
+// the properties we want to check (e.g. that a node's consumption rate
+// catches its reception rate at a precise period boundary). Events at equal
+// times fire in scheduling order, which makes every simulation fully
+// deterministic.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"bwc/internal/rat"
+)
+
+type event struct {
+	at  rat.R
+	seq uint64
+	fn  func()
+}
+
+// Handle identifies a scheduled event for cancellation. The zero Handle is
+// never issued.
+type Handle uint64
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	c := h[i].at.Cmp(h[j].at)
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Engine runs events in virtual time. The zero value is ready to use at
+// time 0.
+type Engine struct {
+	now       rat.R
+	events    eventHeap
+	seq       uint64
+	count     uint64
+	cancelled map[Handle]bool
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() rat.R { return e.now }
+
+// Processed returns how many events have fired so far.
+func (e *Engine) Processed() uint64 { return e.count }
+
+// Pending returns how many events are scheduled but not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// always indicates a logic error in the model.
+func (e *Engine) At(t rat.R, fn func()) {
+	e.AtCancellable(t, fn)
+}
+
+// AtCancellable schedules fn at absolute time t and returns a Handle that
+// Cancel accepts. Models with preemption (e.g. the interruptible
+// communication model) cancel in-flight completion events.
+func (e *Engine) AtCancellable(t rat.R, fn func()) Handle {
+	if t.Less(e.now) {
+		panic(fmt.Sprintf("des: scheduling at %s before now %s", t, e.now))
+	}
+	e.seq++
+	e.events.pushEvent(event{at: t, seq: e.seq, fn: fn})
+	return Handle(e.seq)
+}
+
+// Cancel prevents a scheduled event from firing. It reports whether the
+// event was still pending (false when it already fired or was cancelled).
+func (e *Engine) Cancel(h Handle) bool {
+	if h == 0 || Handle(e.seq) < h {
+		return false
+	}
+	// Verify the event is actually pending: scan is O(pending), fine for
+	// the rare preemption path.
+	for i := range e.events {
+		if Handle(e.events[i].seq) == h {
+			if e.cancelled[h] {
+				return false
+			}
+			if e.cancelled == nil {
+				e.cancelled = make(map[Handle]bool)
+			}
+			e.cancelled[h] = true
+			return true
+		}
+	}
+	return false
+}
+
+// After schedules fn d time units from now (d must be non-negative).
+func (e *Engine) After(d rat.R, fn func()) {
+	e.At(e.now.Add(d), fn)
+}
+
+// Step fires the earliest pending event. It reports false when no events
+// remain. Cancelled events are discarded without firing (they do not count
+// as processed and do not advance the clock).
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := e.events.popEvent()
+		if e.cancelled[Handle(ev.seq)] {
+			delete(e.cancelled, Handle(ev.seq))
+			continue
+		}
+		e.now = ev.at
+		e.count++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events while the earliest one is at or before limit, then
+// advances the clock to limit (if it is ahead). Events scheduled during the
+// run are processed too, as long as they fall within the limit.
+func (e *Engine) RunUntil(limit rat.R) {
+	for len(e.events) > 0 && e.events.peek().at.LessEq(limit) {
+		if !e.Step() {
+			break
+		}
+	}
+	if e.now.Less(limit) {
+		e.now = limit
+	}
+}
+
+// Drain fires events until none remain or maxEvents is exceeded, in which
+// case it returns an error (a guard against non-terminating models).
+func (e *Engine) Drain(maxEvents uint64) error {
+	start := e.count
+	for e.Step() {
+		if e.count-start > maxEvents {
+			return fmt.Errorf("des: drain exceeded %d events at t=%s (model not terminating?)", maxEvents, e.now)
+		}
+	}
+	return nil
+}

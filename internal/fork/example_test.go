@@ -1,0 +1,26 @@
+package fork_test
+
+import (
+	"fmt"
+
+	"bwc/internal/fork"
+	"bwc/internal/rat"
+)
+
+// A parent with unit rate and three children: the bandwidth-centric
+// principle feeds the fastest links first.
+func ExampleReduce() {
+	children := []fork.Child{
+		{Comm: rat.FromInt(2), Rate: rat.One},      // slow link
+		{Comm: rat.New(1, 2), Rate: rat.New(1, 2)}, // fast link, feed first
+		{Comm: rat.One, Rate: rat.New(1, 2)},
+	}
+	res := fork.Reduce(rat.One, children)
+	fmt.Println("equivalent rate:", res.Rate)
+	fmt.Println("fully fed children:", res.P)
+	fmt.Println("leftover port time:", res.Epsilon)
+	// Output:
+	// equivalent rate: 17/8
+	// fully fed children: 2
+	// leftover port time: 1/4
+}

@@ -1,0 +1,222 @@
+// Package gantt renders simulation traces as Gantt diagrams in the style
+// of the paper's Figure 5: one row group per node with its Send (S),
+// Compute (C) and Receive (R) activities over time. An ASCII renderer
+// serves terminals and golden tests; an SVG renderer produces the
+// publication-style figure.
+package gantt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bwc/internal/rat"
+	"bwc/internal/trace"
+	"bwc/internal/tree"
+)
+
+// rowKinds is the row order within each node group, matching Figure 5's
+// S/C/R convention.
+var rowKinds = []trace.Kind{trace.Send, trace.Compute, trace.Recv}
+
+// ASCII renders the window [from, to) with one character per step of
+// virtual time. A cell is drawn with the activity letter when any interval
+// of that kind overlaps the cell, '.' otherwise. Rows that would be
+// entirely empty (e.g. the Recv row of the root) are omitted.
+func ASCII(tr *trace.Trace, from, to, step rat.R) string {
+	if !step.IsPos() || !from.Less(to) {
+		return ""
+	}
+	cells := 0
+	for t := from; t.Less(to); t = t.Add(step) {
+		cells++
+	}
+	byNodeKind := groupIntervals(tr)
+
+	var b strings.Builder
+	// Time ruler: a tick every 10 cells.
+	b.WriteString(fmt.Sprintf("%-8s", "t="))
+	for c := 0; c < cells; c++ {
+		if c%10 == 0 {
+			tick := from.Add(step.Mul(rat.FromInt(int64(c))))
+			s := tick.String()
+			b.WriteString(s)
+			skip := len(s) - 1
+			if skip > 0 {
+				c += skip
+			}
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+
+	for id := 0; id < tr.Tree.Len(); id++ {
+		node := tree.NodeID(id)
+		for _, kind := range rowKinds {
+			ivs := byNodeKind[key{node, kind}]
+			if len(ivs) == 0 {
+				continue
+			}
+			b.WriteString(fmt.Sprintf("%-6s%s ", tr.Tree.Name(node), kind))
+			cur := from
+			for c := 0; c < cells; c++ {
+				next := cur.Add(step)
+				if overlaps(ivs, cur, next) {
+					b.WriteString(kind.String())
+				} else {
+					b.WriteByte('.')
+				}
+				cur = next
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+type key struct {
+	node tree.NodeID
+	kind trace.Kind
+}
+
+func groupIntervals(tr *trace.Trace) map[key][]trace.Interval {
+	m := map[key][]trace.Interval{}
+	for _, iv := range tr.Intervals {
+		k := key{iv.Node, iv.Kind}
+		m[k] = append(m[k], iv)
+	}
+	for k := range m {
+		ivs := m[k]
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start.Less(ivs[j].Start) })
+	}
+	return m
+}
+
+// overlaps reports whether any interval intersects [from, to) with
+// positive measure.
+func overlaps(ivs []trace.Interval, from, to rat.R) bool {
+	for _, iv := range ivs {
+		if iv.Start.Less(to) && from.Less(iv.End) {
+			return true
+		}
+		if !iv.Start.Less(to) {
+			break // sorted: nothing later can overlap
+		}
+	}
+	return false
+}
+
+// SVG renders the window [from, to) as a standalone SVG document,
+// pxPerUnit horizontal pixels per unit of virtual time. Send bars are dark,
+// Compute bars mid, Recv bars light, echoing Figure 5's texture levels.
+func SVG(tr *trace.Trace, from, to rat.R, pxPerUnit float64) string {
+	const rowH, rowGap, groupGap, leftPad, topPad = 14, 2, 10, 90, 30
+	colors := map[trace.Kind]string{
+		trace.Send:    "#1d3557",
+		trace.Compute: "#457b9d",
+		trace.Recv:    "#a8dadc",
+	}
+	byNodeKind := groupIntervals(tr)
+
+	type rowRef struct {
+		node tree.NodeID
+		kind trace.Kind
+	}
+	var rows []rowRef
+	groupOf := map[int]int{} // row index -> node group ordinal (for gaps)
+	group := 0
+	for id := 0; id < tr.Tree.Len(); id++ {
+		node := tree.NodeID(id)
+		had := false
+		for _, kind := range rowKinds {
+			if len(byNodeKind[key{node, kind}]) == 0 {
+				continue
+			}
+			groupOf[len(rows)] = group
+			rows = append(rows, rowRef{node, kind})
+			had = true
+		}
+		if had {
+			group++
+		}
+	}
+
+	span := to.Sub(from).Float64()
+	width := leftPad + int(span*pxPerUnit) + 20
+	height := topPad + len(rows)*(rowH+rowGap) + group*groupGap + 20
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="10">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	// Time axis with unit ticks every max(1, span/20) units.
+	tick := 1.0
+	for span/tick > 24 {
+		tick *= 5
+	}
+	for x := 0.0; x <= span+1e-9; x += tick {
+		px := leftPad + x*pxPerUnit
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n", px, topPad-5, px, height-15)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" fill="#555">%.0f</text>`+"\n", px, topPad-10, from.Float64()+x)
+	}
+
+	y := topPad
+	for i, r := range rows {
+		if i > 0 && groupOf[i] != groupOf[i-1] {
+			y += groupGap
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" fill="#222">%s %s</text>`+"\n",
+			leftPad-6, y+rowH-3, tr.Tree.Name(r.node), r.kind)
+		for _, iv := range byNodeKind[key{r.node, r.kind}] {
+			if !iv.Start.Less(to) || !from.Less(iv.End) {
+				continue
+			}
+			s := rat.Max(iv.Start, from).Sub(from).Float64() * pxPerUnit
+			e := rat.Min(iv.End, to).Sub(from).Float64() * pxPerUnit
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"/>`+"\n",
+				float64(leftPad)+s, y, e-s, rowH, colors[r.kind])
+		}
+		y += rowH + rowGap
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// ASCIIWithBuffers renders like ASCII plus one "buf" row per node showing
+// buffered-task counts sampled at each cell start ('0'-'9', '+' for ten or
+// more). It visualizes the Section 6.3 claim directly: under the
+// interleaved schedule the digits stay small.
+func ASCIIWithBuffers(tr *trace.Trace, from, to, step rat.R) string {
+	base := ASCII(tr, from, to, step)
+	if base == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	for id := 0; id < tr.Tree.Len(); id++ {
+		node := tree.NodeID(id)
+		// Skip nodes that never buffer.
+		max := 0
+		for _, s := range tr.Buffers {
+			if s.Node == node && s.Held > max {
+				max = s.Held
+			}
+		}
+		if max == 0 {
+			continue
+		}
+		b.WriteString(fmt.Sprintf("%-6sB ", tr.Tree.Name(node)))
+		for t := from; t.Less(to); t = t.Add(step) {
+			held := tr.BufferAt(node, t)
+			switch {
+			case held >= 10:
+				b.WriteByte('+')
+			default:
+				b.WriteByte(byte('0' + held))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/sim"
+	"bwc/internal/trace"
+	"bwc/internal/tree"
+)
+
+func demoRun(t *testing.T) *sim.Run {
+	t.Helper()
+	tr := tree.NewBuilder().
+		Root("P0", rat.Two).
+		Child("P0", "P1", rat.One, rat.FromInt(3)).
+		Child("P0", "P2", rat.FromInt(3), rat.Two).
+		MustBuild()
+	res := bwfirst.Solve(tr)
+	s, err := sched.Build(res, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Simulate(s, sim.Options{Periods: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestASCIIStructure(t *testing.T) {
+	run := demoRun(t)
+	out := ASCII(run.Trace, rat.Zero, rat.FromInt(20), rat.One)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "t=") {
+		t.Fatalf("no ruler: %q", lines[0])
+	}
+	var haveRootS, haveP1C, haveP1R bool
+	for _, l := range lines[1:] {
+		switch {
+		case strings.HasPrefix(l, "P0    S"):
+			haveRootS = true
+			if !strings.Contains(l, "S") {
+				t.Fatalf("root send row has no S cells: %q", l)
+			}
+		case strings.HasPrefix(l, "P1    C"):
+			haveP1C = true
+		case strings.HasPrefix(l, "P1    R"):
+			haveP1R = true
+		case strings.HasPrefix(l, "P0    R"):
+			t.Fatal("root has a Recv row but never receives")
+		}
+	}
+	if !haveRootS || !haveP1C || !haveP1R {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}
+
+func TestASCIICellAccuracy(t *testing.T) {
+	// Hand-built trace: one compute interval [1,3) on the root.
+	tt := tree.NewBuilder().Root("P0", rat.One).MustBuild()
+	tr := &trace.Trace{Tree: tt}
+	tr.AddInterval(trace.Interval{Node: 0, Kind: trace.Compute, Start: rat.One, End: rat.FromInt(3), Peer: tree.None})
+	out := ASCII(tr, rat.Zero, rat.FromInt(5), rat.One)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	row := lines[1]
+	cells := row[len(row)-5:]
+	if cells != ".CC.." {
+		if cells != ".CC.." { // cells occupy [0,1),[1,2),...
+			t.Fatalf("cells = %q, want .CC..", cells)
+		}
+	}
+}
+
+func TestASCIIEmptyWindows(t *testing.T) {
+	run := demoRun(t)
+	if got := ASCII(run.Trace, rat.One, rat.One, rat.One); got != "" {
+		t.Fatalf("empty window rendered %q", got)
+	}
+	if got := ASCII(run.Trace, rat.Zero, rat.One, rat.Zero); got != "" {
+		t.Fatalf("zero step rendered %q", got)
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	run := demoRun(t)
+	out := SVG(run.Trace, rat.Zero, rat.FromInt(20), 10)
+	for _, frag := range []string{"<svg", "</svg>", "P0 S", "P1 C", "P1 R", "<rect"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("SVG missing %q", frag)
+		}
+	}
+	if strings.Contains(out, "P0 R") {
+		t.Fatal("SVG shows a root Recv row")
+	}
+	// Bars must not be emitted for intervals fully outside the window.
+	narrow := SVG(run.Trace, rat.FromInt(1000), rat.FromInt(1001), 10)
+	if strings.Count(narrow, "<rect") > 1 { // background rect only
+		t.Fatal("SVG rendered bars outside the window")
+	}
+}
+
+func TestASCIIWithBuffers(t *testing.T) {
+	tt := tree.NewBuilder().Root("P0", rat.One).Child("P0", "P1", rat.One, rat.One).MustBuild()
+	tr := &trace.Trace{Tree: tt}
+	tr.AddInterval(trace.Interval{Node: 0, Kind: trace.Compute, Start: rat.Zero, End: rat.One, Peer: tree.None})
+	tr.AddBufferSample(1, rat.One, 3)
+	tr.AddBufferSample(1, rat.FromInt(3), 12)
+	out := ASCIIWithBuffers(tr, rat.Zero, rat.FromInt(5), rat.One)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var bufRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "P1    B") {
+			bufRow = l
+		}
+	}
+	if bufRow == "" {
+		t.Fatalf("no buffer row:\n%s", out)
+	}
+	cells := bufRow[len(bufRow)-5:]
+	if cells != "033++" {
+		t.Fatalf("buffer cells = %q, want 033++", cells)
+	}
+	// Node P0 never buffers: no row.
+	for _, l := range lines {
+		if strings.HasPrefix(l, "P0    B") {
+			t.Fatal("zero-buffer node has a row")
+		}
+	}
+	if got := ASCIIWithBuffers(tr, rat.Zero, rat.Zero, rat.One); got != "" {
+		t.Fatal("empty window rendered")
+	}
+}

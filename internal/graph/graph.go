@@ -1,0 +1,456 @@
+// Package graph models general interconnection platforms — the setting of
+// Shao et al. [13] and Banino et al. [2] in the paper's Related Work — and
+// extracts tree overlays from them.
+//
+// The paper restricts itself to trees because "no choices need to be made
+// about how to route the data" (Section 1); the platform underneath is a
+// general graph, and a tree overlay must be chosen on top of it. This
+// package provides the graph model, seeded generators, and spanning-tree
+// heuristics (breadth-first, depth-first, and a bandwidth-centric greedy
+// in the spirit of Prim's algorithm), which experiment E13 scores with
+// BW-First against the exact general-graph LP optimum of
+// internal/graphlp.
+//
+// Links are bidirectional with symmetric communication time; tasks flow
+// away from the master, so an overlay orients each chosen link parent to
+// child.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// NodeID indexes a node within one Graph.
+type NodeID int
+
+// Edge is one endpoint's view of a bidirectional link.
+type Edge struct {
+	To   NodeID
+	Comm rat.R // time units per task, symmetric
+}
+
+type node struct {
+	name     string
+	procTime rat.R
+	hasProc  bool
+	adj      []Edge
+}
+
+// Graph is a platform graph with a designated master. Construct with a
+// Builder.
+type Graph struct {
+	nodes  []node
+	byName map[string]NodeID
+	master NodeID
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Master returns the master's id.
+func (g *Graph) Master() NodeID { return g.master }
+
+// Name returns the node's name.
+func (g *Graph) Name(id NodeID) string { return g.nodes[id].name }
+
+// Lookup finds a node by name.
+func (g *Graph) Lookup(name string) (NodeID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// MustLookup is Lookup that panics on unknown names.
+func (g *Graph) MustLookup(name string) NodeID {
+	id, ok := g.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown node %q", name))
+	}
+	return id
+}
+
+// Rate returns the node's computing rate (0 for switches).
+func (g *Graph) Rate(id NodeID) rat.R {
+	n := g.nodes[id]
+	if !n.hasProc {
+		return rat.Zero
+	}
+	return n.procTime.Inv()
+}
+
+// ProcTime returns the node's processing time; ok is false for switches.
+func (g *Graph) ProcTime(id NodeID) (rat.R, bool) {
+	n := g.nodes[id]
+	return n.procTime, n.hasProc
+}
+
+// Neighbors returns the node's incident links. The slice must not be
+// modified.
+func (g *Graph) Neighbors(id NodeID) []Edge { return g.nodes[id].adj }
+
+// EdgeCount returns the number of (bidirectional) links.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for i := range g.nodes {
+		total += len(g.nodes[i].adj)
+	}
+	return total / 2
+}
+
+// Connected reports whether every node is reachable from the master.
+func (g *Graph) Connected() bool {
+	if g.Len() == 0 {
+		return true
+	}
+	seen := make([]bool, g.Len())
+	stack := []NodeID{g.master}
+	seen[g.master] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, e := range g.nodes[v].adj {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == g.Len()
+}
+
+// Builder assembles a Graph; errors accumulate and surface at Build.
+type Builder struct {
+	g   Graph
+	err error
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder {
+	return &Builder{g: Graph{byName: make(map[string]NodeID), master: -1}}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (b *Builder) addNode(name string, proc rat.R, hasProc bool) {
+	if b.err != nil {
+		return
+	}
+	if name == "" {
+		b.fail("graph: empty node name")
+		return
+	}
+	if _, dup := b.g.byName[name]; dup {
+		b.fail("graph: duplicate node %q", name)
+		return
+	}
+	if hasProc && !proc.IsPos() {
+		b.fail("graph: node %q: processing time must be > 0", name)
+		return
+	}
+	b.g.byName[name] = NodeID(len(b.g.nodes))
+	b.g.nodes = append(b.g.nodes, node{name: name, procTime: proc, hasProc: hasProc})
+}
+
+// Node adds a computing node.
+func (b *Builder) Node(name string, proc rat.R) *Builder {
+	b.addNode(name, proc, true)
+	return b
+}
+
+// Switch adds a node with no computing power.
+func (b *Builder) Switch(name string) *Builder {
+	b.addNode(name, rat.Zero, false)
+	return b
+}
+
+// Link adds a bidirectional link with symmetric communication time.
+func (b *Builder) Link(a, bn string, comm rat.R) *Builder {
+	if b.err != nil {
+		return b
+	}
+	ai, ok := b.g.byName[a]
+	if !ok {
+		b.fail("graph: unknown node %q", a)
+		return b
+	}
+	bi, ok := b.g.byName[bn]
+	if !ok {
+		b.fail("graph: unknown node %q", bn)
+		return b
+	}
+	if ai == bi {
+		b.fail("graph: self link on %q", a)
+		return b
+	}
+	if !comm.IsPos() {
+		b.fail("graph: link %s-%s: communication time must be > 0", a, bn)
+		return b
+	}
+	for _, e := range b.g.nodes[ai].adj {
+		if e.To == bi {
+			b.fail("graph: duplicate link %s-%s", a, bn)
+			return b
+		}
+	}
+	b.g.nodes[ai].adj = append(b.g.nodes[ai].adj, Edge{To: bi, Comm: comm})
+	b.g.nodes[bi].adj = append(b.g.nodes[bi].adj, Edge{To: ai, Comm: comm})
+	return b
+}
+
+// Master designates the task source.
+func (b *Builder) Master(name string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	id, ok := b.g.byName[name]
+	if !ok {
+		b.fail("graph: unknown master %q", name)
+		return b
+	}
+	b.g.master = id
+	return b
+}
+
+// Build finalizes the graph: it must have a master and be connected.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.g.nodes) == 0 {
+		return nil, fmt.Errorf("graph: no nodes")
+	}
+	if b.g.master < 0 {
+		return nil, fmt.Errorf("graph: no master designated")
+	}
+	g := b.g
+	if !g.Connected() {
+		return nil, fmt.Errorf("graph: not connected from the master")
+	}
+	return &g, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// OverlayKind selects a spanning-tree extraction heuristic.
+type OverlayKind int
+
+const (
+	// OverlayBFS takes the breadth-first tree from the master (shortest
+	// hop count).
+	OverlayBFS OverlayKind = iota
+	// OverlayDFS takes a depth-first tree (long chains; usually a poor
+	// overlay — included as the strawman).
+	OverlayDFS
+	// OverlayGreedy grows the tree Prim-style, always attaching the
+	// frontier link with the smallest communication time: the
+	// bandwidth-centric choice.
+	OverlayGreedy
+)
+
+// String names the overlay heuristic.
+func (k OverlayKind) String() string {
+	switch k {
+	case OverlayBFS:
+		return "bfs"
+	case OverlayDFS:
+		return "dfs"
+	case OverlayGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("OverlayKind(%d)", int(k))
+	}
+}
+
+// OverlayKinds lists all heuristics.
+var OverlayKinds = []OverlayKind{OverlayBFS, OverlayDFS, OverlayGreedy}
+
+// SpanningTree extracts a tree overlay rooted at the master using the
+// given heuristic and converts it into a platform tree for BW-First.
+func (g *Graph) SpanningTree(kind OverlayKind) (*tree.Tree, error) {
+	parentOf := make([]NodeID, g.Len())
+	commOf := make([]rat.R, g.Len())
+	for i := range parentOf {
+		parentOf[i] = -1
+	}
+
+	switch kind {
+	case OverlayBFS:
+		queue := []NodeID{g.master}
+		seen := make([]bool, g.Len())
+		seen[g.master] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range g.sortedAdj(v) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					parentOf[e.To] = v
+					commOf[e.To] = e.Comm
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	case OverlayDFS:
+		seen := make([]bool, g.Len())
+		var rec func(NodeID)
+		rec = func(v NodeID) {
+			seen[v] = true
+			for _, e := range g.sortedAdj(v) {
+				if !seen[e.To] {
+					parentOf[e.To] = v
+					commOf[e.To] = e.Comm
+					rec(e.To)
+				}
+			}
+		}
+		rec(g.master)
+	case OverlayGreedy:
+		inTree := make([]bool, g.Len())
+		inTree[g.master] = true
+		for added := 1; added < g.Len(); added++ {
+			bestFrom, bestTo := NodeID(-1), NodeID(-1)
+			var bestC rat.R
+			for v := 0; v < g.Len(); v++ {
+				if !inTree[v] {
+					continue
+				}
+				for _, e := range g.sortedAdj(NodeID(v)) {
+					if inTree[e.To] {
+						continue
+					}
+					if bestTo < 0 || e.Comm.Less(bestC) {
+						bestFrom, bestTo, bestC = NodeID(v), e.To, e.Comm
+					}
+				}
+			}
+			if bestTo < 0 {
+				return nil, fmt.Errorf("graph: disconnected during greedy overlay")
+			}
+			inTree[bestTo] = true
+			parentOf[bestTo] = bestFrom
+			commOf[bestTo] = bestC
+		}
+	default:
+		return nil, fmt.Errorf("graph: unknown overlay kind %v", kind)
+	}
+
+	return g.buildTree(parentOf, commOf)
+}
+
+// sortedAdj returns the node's links sorted by comm time then neighbor id,
+// so every heuristic is deterministic.
+func (g *Graph) sortedAdj(v NodeID) []Edge {
+	adj := make([]Edge, len(g.nodes[v].adj))
+	copy(adj, g.nodes[v].adj)
+	sort.SliceStable(adj, func(i, j int) bool {
+		c := adj[i].Comm.Cmp(adj[j].Comm)
+		if c != 0 {
+			return c < 0
+		}
+		return adj[i].To < adj[j].To
+	})
+	return adj
+}
+
+// buildTree converts a parent array into a tree.Tree (children attach in
+// graph id order).
+func (g *Graph) buildTree(parentOf []NodeID, commOf []rat.R) (*tree.Tree, error) {
+	b := tree.NewBuilder()
+	if w, ok := g.ProcTime(g.master); ok {
+		b.Root(g.Name(g.master), w)
+	} else {
+		b.RootSwitch(g.Name(g.master))
+	}
+	// Attach children level by level so parents exist before children.
+	added := make([]bool, g.Len())
+	added[g.master] = true
+	remaining := g.Len() - 1
+	for remaining > 0 {
+		progress := false
+		for id := 0; id < g.Len(); id++ {
+			nid := NodeID(id)
+			if added[id] || parentOf[id] < 0 || !added[parentOf[id]] {
+				continue
+			}
+			pName := g.Name(parentOf[id])
+			if w, ok := g.ProcTime(nid); ok {
+				b.Child(pName, g.Name(nid), commOf[id], w)
+			} else {
+				b.SwitchChild(pName, g.Name(nid), commOf[id])
+			}
+			added[id] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("graph: overlay did not span the graph")
+		}
+	}
+	return b.Build()
+}
+
+// RandomConnected generates a seeded random connected platform graph with
+// n nodes and roughly extraEdges links beyond the spanning backbone.
+// Communication times are drawn from (0, maxComm] in halves; processing
+// times from (0, maxProc] in halves; switchProb of the non-master nodes
+// are switches.
+func RandomConnected(r *rand.Rand, n, extraEdges int, switchProb float64) *Graph {
+	if n < 1 {
+		panic("graph: n must be >= 1")
+	}
+	b := NewBuilder()
+	b.Node("g0", rat.New(r.Int63n(16)+1, 2))
+	for i := 1; i < n; i++ {
+		name := fmt.Sprintf("g%d", i)
+		if r.Float64() < switchProb {
+			b.Switch(name)
+		} else {
+			b.Node(name, rat.New(r.Int63n(16)+1, 2))
+		}
+	}
+	comm := func() rat.R { return rat.New(r.Int63n(8)+1, 2) }
+	// Random spanning backbone.
+	for i := 1; i < n; i++ {
+		b.Link(fmt.Sprintf("g%d", r.Intn(i)), fmt.Sprintf("g%d", i), comm())
+	}
+	// Extra links (skip duplicates silently by retrying).
+	tries := 0
+	for added := 0; added < extraEdges && tries < 20*extraEdges+20; tries++ {
+		x, y := r.Intn(n), r.Intn(n)
+		if x == y {
+			continue
+		}
+		gb := b.g
+		dup := false
+		for _, e := range gb.nodes[x].adj {
+			if int(e.To) == y {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		b.Link(fmt.Sprintf("g%d", x), fmt.Sprintf("g%d", y), comm())
+		added++
+	}
+	b.Master("g0")
+	return b.MustBuild()
+}

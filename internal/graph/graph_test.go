@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/rat"
+)
+
+// diamond builds master g0 linked to relays a, b, both linked to worker w.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	return NewBuilder().
+		Switch("m").
+		Switch("a").
+		Switch("b").
+		Node("w", rat.One).
+		Link("m", "a", rat.One).
+		Link("m", "b", rat.Two).
+		Link("a", "w", rat.One).
+		Link("b", "w", rat.One).
+		Master("m").
+		MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := diamond(t)
+	if g.Len() != 4 || g.EdgeCount() != 4 {
+		t.Fatalf("len %d edges %d", g.Len(), g.EdgeCount())
+	}
+	if g.Name(g.Master()) != "m" {
+		t.Fatalf("master = %s", g.Name(g.Master()))
+	}
+	w := g.MustLookup("w")
+	if !g.Rate(w).Equal(rat.One) {
+		t.Fatalf("rate(w) = %s", g.Rate(w))
+	}
+	if !g.Rate(g.MustLookup("a")).IsZero() {
+		t.Fatal("switch has rate")
+	}
+	if !g.Connected() {
+		t.Fatal("diamond not connected")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		build func() (*Graph, error)
+		want  string
+	}{
+		{func() (*Graph, error) { return NewBuilder().Build() }, "no nodes"},
+		{func() (*Graph, error) { return NewBuilder().Node("a", rat.One).Build() }, "no master"},
+		{func() (*Graph, error) {
+			return NewBuilder().Node("a", rat.One).Node("a", rat.One).Master("a").Build()
+		}, "duplicate node"},
+		{func() (*Graph, error) {
+			return NewBuilder().Node("a", rat.Zero).Master("a").Build()
+		}, "processing time"},
+		{func() (*Graph, error) {
+			return NewBuilder().Node("a", rat.One).Link("a", "zz", rat.One).Master("a").Build()
+		}, "unknown node"},
+		{func() (*Graph, error) {
+			return NewBuilder().Node("a", rat.One).Link("a", "a", rat.One).Master("a").Build()
+		}, "self link"},
+		{func() (*Graph, error) {
+			return NewBuilder().Node("a", rat.One).Node("b", rat.One).
+				Link("a", "b", rat.One).Link("b", "a", rat.One).Master("a").Build()
+		}, "duplicate link"},
+		{func() (*Graph, error) {
+			return NewBuilder().Node("a", rat.One).Node("b", rat.One).
+				Link("a", "b", rat.Zero).Master("a").Build()
+		}, "communication time"},
+		{func() (*Graph, error) {
+			return NewBuilder().Node("a", rat.One).Node("b", rat.One).Master("a").Build()
+		}, "not connected"},
+		{func() (*Graph, error) {
+			return NewBuilder().Node("a", rat.One).Master("zz").Build()
+		}, "unknown master"},
+		{func() (*Graph, error) { return NewBuilder().Node("", rat.One).Build() }, "empty node name"},
+	}
+	for _, c := range cases {
+		_, err := c.build()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("want error containing %q, got %v", c.want, err)
+		}
+	}
+}
+
+func TestSpanningTreeShapes(t *testing.T) {
+	g := diamond(t)
+	for _, kind := range OverlayKinds {
+		tr, err := g.SpanningTree(kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if tr.Len() != g.Len() {
+			t.Fatalf("%v: overlay has %d nodes", kind, tr.Len())
+		}
+		if tr.Name(tr.Root()) != "m" {
+			t.Fatalf("%v: root %s", kind, tr.Name(tr.Root()))
+		}
+		// Every overlay is a valid platform: BW-First must run on it.
+		res := bwfirst.Solve(tr)
+		if err := res.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+	// The greedy overlay reaches w through the fast m-a-w path.
+	tr, err := g.SpanningTree(OverlayGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tr.MustLookup("w")
+	if tr.Name(tr.Parent(w)) != "a" {
+		t.Fatalf("greedy attached w under %s", tr.Name(tr.Parent(w)))
+	}
+}
+
+func TestOverlayKindString(t *testing.T) {
+	if OverlayBFS.String() != "bfs" || OverlayDFS.String() != "dfs" || OverlayGreedy.String() != "greedy" {
+		t.Fatal("overlay names")
+	}
+	if OverlayKind(9).String() == "" {
+		t.Fatal("unknown overlay name empty")
+	}
+	if _, err := diamond(t).SpanningTree(OverlayKind(9)); err == nil {
+		t.Fatal("unknown overlay accepted")
+	}
+}
+
+func TestDFSBuildsChains(t *testing.T) {
+	// On a path graph every heuristic yields the same chain.
+	g := NewBuilder().
+		Node("a", rat.One).Node("b", rat.One).Node("c", rat.One).
+		Link("a", "b", rat.One).Link("b", "c", rat.One).
+		Master("a").MustBuild()
+	for _, kind := range OverlayKinds {
+		tr, err := g.SpanningTree(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Height() != 2 {
+			t.Fatalf("%v: height %d", kind, tr.Height())
+		}
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := RandomConnected(r, 25, 15, 0.2)
+		if g.Len() != 25 {
+			t.Fatalf("len = %d", g.Len())
+		}
+		if !g.Connected() {
+			t.Fatal("not connected")
+		}
+		if g.EdgeCount() < 24 {
+			t.Fatalf("edges = %d", g.EdgeCount())
+		}
+		for _, kind := range OverlayKinds {
+			tr, err := g.SpanningTree(kind)
+			if err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+			if tr.Len() != g.Len() {
+				t.Fatalf("%v: %d of %d nodes", kind, tr.Len(), g.Len())
+			}
+		}
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	a := RandomConnected(rand.New(rand.NewSource(5)), 15, 8, 0.3)
+	b := RandomConnected(rand.New(rand.NewSource(5)), 15, 8, 0.3)
+	ta, err := a.SpanningTree(OverlayGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.SpanningTree(OverlayGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ta.Equal(tb) {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	g := NewBuilder().Node("only", rat.Two).Master("only").MustBuild()
+	tr, err := g.SpanningTree(OverlayGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if got := bwfirst.Solve(tr).Throughput; !got.Equal(rat.New(1, 2)) {
+		t.Fatalf("throughput = %s", got)
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"bwc/internal/rat"
+)
+
+// ParseText reads a platform graph from the line-oriented format:
+//
+//	node <name> <proc>     # computing node, proc is a positive rational
+//	switch <name>          # node with no computing power
+//	link <a> <b> <comm>    # bidirectional link, comm is a positive rational
+//	master <name>          # designates the task source (required)
+//
+// '#' starts a comment; blank lines are ignored.
+func ParseText(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "node":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: node <name> <proc>", lineNo)
+			}
+			proc, err := rat.Parse(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			b.Node(fields[1], proc)
+		case "switch":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: switch <name>", lineNo)
+			}
+			b.Switch(fields[1])
+		case "link":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: link <a> <b> <comm>", lineNo)
+			}
+			comm, err := rat.Parse(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			b.Link(fields[1], fields[2], comm)
+		case "master":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: master <name>", lineNo)
+			}
+			b.Master(fields[1])
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// ParseTextString is ParseText on a string.
+func ParseTextString(s string) (*Graph, error) {
+	return ParseText(strings.NewReader(s))
+}
+
+// WriteText renders g in the line-oriented format; the output round-trips
+// through ParseText.
+func WriteText(w io.Writer, g *Graph) error {
+	if g.Len() == 0 {
+		return fmt.Errorf("graph: empty graph")
+	}
+	bw := bufio.NewWriter(w)
+	for id := 0; id < g.Len(); id++ {
+		nid := NodeID(id)
+		if w, ok := g.ProcTime(nid); ok {
+			fmt.Fprintf(bw, "node %s %s\n", g.Name(nid), w)
+		} else {
+			fmt.Fprintf(bw, "switch %s\n", g.Name(nid))
+		}
+	}
+	for id := 0; id < g.Len(); id++ {
+		for _, e := range g.Neighbors(NodeID(id)) {
+			if NodeID(id) < e.To { // each link once
+				fmt.Fprintf(bw, "link %s %s %s\n", g.Name(NodeID(id)), g.Name(e.To), e.Comm)
+			}
+		}
+	}
+	fmt.Fprintf(bw, "master %s\n", g.Name(g.Master()))
+	return bw.Flush()
+}
+
+// TextString renders g as a string.
+func TextString(g *Graph) string {
+	var sb strings.Builder
+	_ = WriteText(&sb, g)
+	return sb.String()
+}
+
+// DOT renders g as an undirected Graphviz graph; the master is marked.
+func DOT(g *Graph) string {
+	var b strings.Builder
+	b.WriteString("graph platform {\n  node [shape=circle];\n")
+	for id := 0; id < g.Len(); id++ {
+		nid := NodeID(id)
+		w := "inf"
+		if pw, ok := g.ProcTime(nid); ok {
+			w = pw.String()
+		}
+		style := ""
+		if nid == g.Master() {
+			style = `, style=filled, fillcolor="#ffd166"`
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s\\nw=%s\"%s];\n", g.Name(nid), g.Name(nid), w, style)
+	}
+	for id := 0; id < g.Len(); id++ {
+		for _, e := range g.Neighbors(NodeID(id)) {
+			if NodeID(id) < e.To {
+				fmt.Fprintf(&b, "  %q -- %q [label=\"%s\"];\n", g.Name(NodeID(id)), g.Name(e.To), e.Comm)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const sampleGraph = `
+# campus platform
+node   m    2
+switch core
+node   w1   3
+node   w2   1/2
+link m core 1/2
+link core w1 1
+link core w2 2
+link w1 w2 1     # cross link
+master m
+`
+
+func TestParseTextGraph(t *testing.T) {
+	g, err := ParseTextString(sampleGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 || g.EdgeCount() != 4 {
+		t.Fatalf("len %d edges %d", g.Len(), g.EdgeCount())
+	}
+	if g.Name(g.Master()) != "m" {
+		t.Fatal("master wrong")
+	}
+	if g.Rate(g.MustLookup("core")).IsPos() {
+		t.Fatal("core should be a switch")
+	}
+}
+
+func TestParseTextGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"wat m 2":                         "unknown directive",
+		"node m":                          "node <name> <proc>",
+		"node m zz":                       "cannot parse",
+		"switch":                          "switch <name>",
+		"node m 2\nlink m":                "link <a> <b> <comm>",
+		"node m 2\nmaster":                "master <name>",
+		"node m 2\nlink m m 1":            "self link",
+		"node m 2":                        "no master",
+		"":                                "no nodes",
+		"node m 2\nnode w 1\nmaster m":    "not connected",
+		"node m 2\nnode w 1\nlink m w xx": "cannot parse",
+	}
+	for in, want := range cases {
+		_, err := ParseTextString(in)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseText(%q) err = %v, want %q", in, err, want)
+		}
+	}
+}
+
+func TestGraphTextRoundTrip(t *testing.T) {
+	g, err := ParseTextString(sampleGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTextString(TextString(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() || back.EdgeCount() != g.EdgeCount() {
+		t.Fatal("round trip changed the graph")
+	}
+	if back.Name(back.Master()) != g.Name(g.Master()) {
+		t.Fatal("master changed")
+	}
+	// Weights survive: overlays from both graphs must be identical.
+	a, err := g.SpanningTree(OverlayGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.SpanningTree(OverlayGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("overlay differs after round trip")
+	}
+}
+
+func TestGraphTextRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := RandomConnected(rand.New(rand.NewSource(seed)), 18, 9, 0.25)
+		back, err := ParseTextString(TextString(g))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		a, _ := g.SpanningTree(OverlayGreedy)
+		b, _ := back.SpanningTree(OverlayGreedy)
+		if !a.Equal(b) {
+			t.Fatalf("seed %d: round trip changed the graph", seed)
+		}
+	}
+}
+
+func TestGraphDOT(t *testing.T) {
+	g, err := ParseTextString(sampleGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := DOT(g)
+	for _, frag := range []string{"graph platform", `"m" [label="m\nw=2", style=filled`, `"core" -- "w1"`, "w=inf"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestWriteTextEmptyGraph(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteText(&sb, &Graph{}); err == nil {
+		t.Fatal("empty graph written")
+	}
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// ImproveOverlay hill-climbs an overlay: each round it tries every edge
+// swap — re-parenting one node across a non-tree link — and keeps the best
+// strictly-improving move according to score (typically BW-First's
+// throughput, injected to keep this package algorithm-agnostic). It stops
+// when no swap improves or after maxRounds, returning the improved overlay
+// and the number of accepted moves.
+//
+// This is exactly the "topological study" Section 5 motivates: BW-First's
+// cheap evaluation makes it affordable to consider a wider set of trees.
+func (g *Graph) ImproveOverlay(t *tree.Tree, maxRounds int, score func(*tree.Tree) rat.R) (*tree.Tree, int, error) {
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	if t.Len() != g.Len() {
+		return nil, 0, fmt.Errorf("graph: overlay has %d nodes, graph %d", t.Len(), g.Len())
+	}
+	current := t
+	best := score(current)
+	moves := 0
+	for round := 0; round < maxRounds; round++ {
+		cand, candScore, ok := g.bestSwap(current, best, score)
+		if !ok {
+			break
+		}
+		current, best = cand, candScore
+		moves++
+	}
+	return current, moves, nil
+}
+
+// bestSwap evaluates every valid re-parenting across a graph link and
+// returns the best candidate strictly better than cur.
+func (g *Graph) bestSwap(t *tree.Tree, cur rat.R, score func(*tree.Tree) rat.R) (*tree.Tree, rat.R, bool) {
+	var bestTree *tree.Tree
+	bestScore := cur
+	for u := 0; u < g.Len(); u++ {
+		for _, e := range g.Neighbors(NodeID(u)) {
+			// Try re-parenting e.To under u (each undirected link is seen
+			// from both endpoints, covering both directions).
+			cand, ok := g.reparent(t, e.To, NodeID(u), e.Comm)
+			if !ok {
+				continue
+			}
+			if s := score(cand); bestScore.Less(s) {
+				bestTree, bestScore = cand, s
+			}
+		}
+	}
+	return bestTree, bestScore, bestTree != nil
+}
+
+// reparent builds a new overlay with mover attached under newParent via a
+// link of time comm. Invalid when mover is the root, already under
+// newParent, or newParent lies inside mover's subtree (would create a
+// cycle).
+func (g *Graph) reparent(t *tree.Tree, mover, newParent NodeID, comm rat.R) (*tree.Tree, bool) {
+	mTree := t.MustLookup(g.Name(mover))
+	pTree := t.MustLookup(g.Name(newParent))
+	if mTree == t.Root() || t.Parent(mTree) == pTree {
+		return nil, false
+	}
+	inSubtree := false
+	t.Walk(mTree, func(id tree.NodeID) bool {
+		if id == pTree {
+			inSubtree = true
+			return false
+		}
+		return true
+	})
+	if inSubtree {
+		return nil, false
+	}
+	// Rebuild: same nodes, mover's parent/comm replaced.
+	b := tree.NewBuilder()
+	if w, ok := t.ProcTime(t.Root()); ok {
+		b.Root(t.Name(t.Root()), w)
+	} else {
+		b.RootSwitch(t.Name(t.Root()))
+	}
+	// Attach remaining nodes parent-first.
+	added := map[tree.NodeID]bool{t.Root(): true}
+	remaining := t.Len() - 1
+	for remaining > 0 {
+		progress := false
+		for id := 0; id < t.Len(); id++ {
+			nid := tree.NodeID(id)
+			if added[nid] || nid == t.Root() {
+				continue
+			}
+			parent := t.Parent(nid)
+			c := rat.Zero
+			if nid == mTree {
+				parent = pTree
+				c = comm
+			} else {
+				c = t.CommTime(nid)
+			}
+			if !added[parent] {
+				continue
+			}
+			if w, ok := t.ProcTime(nid); ok {
+				b.Child(t.Name(parent), t.Name(nid), c, w)
+			} else {
+				b.SwitchChild(t.Name(parent), t.Name(nid), c)
+			}
+			added[nid] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+func throughputScore(t *tree.Tree) rat.R { return bwfirst.Solve(t).Throughput }
+
+func TestImproveOverlayFindsBetterTree(t *testing.T) {
+	// A graph where DFS picks a poor chain but a re-parenting fixes it:
+	// master -- a (fast), a -- b (slow), master -- b (fast direct).
+	g := NewBuilder().
+		Node("m", rat.FromInt(10)).
+		Node("a", rat.Two). // slow CPU leaves root bandwidth unused
+		Node("b", rat.One).
+		Link("m", "a", rat.One).
+		Link("a", "b", rat.FromInt(8)).
+		Link("m", "b", rat.One).
+		Master("m").
+		MustBuild()
+	// Start from the worst overlay reachable: chain m-a-b via the slow
+	// link (throughput 29/40); re-parenting b directly under m reaches
+	// 11/10.
+	start := tree.NewBuilder().
+		Root("m", rat.FromInt(10)).
+		Child("m", "a", rat.One, rat.Two).
+		Child("a", "b", rat.FromInt(8), rat.One).
+		MustBuild()
+	before := throughputScore(start)
+	improved, moves, err := g.ImproveOverlay(start, 10, throughputScore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := throughputScore(improved)
+	if !before.Less(after) {
+		t.Fatalf("no improvement: %s -> %s (%d moves)", before, after, moves)
+	}
+	if moves == 0 {
+		t.Fatal("no moves recorded")
+	}
+	// b must now hang directly under m.
+	b := improved.MustLookup("b")
+	if improved.Name(improved.Parent(b)) != "m" {
+		t.Fatalf("b re-parented under %s", improved.Name(improved.Parent(b)))
+	}
+}
+
+func TestImproveOverlayStableAtOptimum(t *testing.T) {
+	// On a plain tree-shaped graph there is nothing to swap to.
+	g := NewBuilder().
+		Node("m", rat.One).
+		Node("w", rat.One).
+		Link("m", "w", rat.One).
+		Master("m").
+		MustBuild()
+	start, err := g.SpanningTree(OverlayGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, moves, err := g.ImproveOverlay(start, 5, throughputScore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves != 0 || !improved.Equal(start) {
+		t.Fatalf("moved %d on a tree graph", moves)
+	}
+}
+
+func TestImproveOverlayNeverWorsens(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := RandomConnected(r, 14, 10, 0.2)
+		for _, kind := range OverlayKinds {
+			start, err := g.SpanningTree(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			improved, _, err := g.ImproveOverlay(start, 6, throughputScore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if throughputScore(improved).Less(throughputScore(start)) {
+				t.Fatalf("seed %d %v: hill climbing went downhill", seed, kind)
+			}
+		}
+	}
+}
+
+func TestImproveOverlaySizeMismatch(t *testing.T) {
+	g := diamond(t)
+	wrong := tree.NewBuilder().Root("m", rat.One).MustBuild()
+	if _, _, err := g.ImproveOverlay(wrong, 3, throughputScore); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Package graphlp computes the optimal steady-state throughput of a
+// general platform graph under the single-port full-overlap model — the
+// linear-programming approach of Banino et al. [2] cited in the paper's
+// Related Work. It serves as the routing-free upper bound for experiment
+// E13: how much throughput does restricting to a tree overlay cost?
+//
+// Variables: α_i ≥ 0 (compute rate of node i) and x_{uv} ≥ 0 (task rate on
+// each directed link u→v; every bidirectional link yields two directed
+// variables). Constraints:
+//
+//	α_i ≤ r_i                                    (rate bounds)
+//	Σ_v c_uv·x_uv ≤ 1            for every u     (send ports)
+//	Σ_u c_uv·x_uv ≤ 1            for every v     (receive ports)
+//	inflow(i) − outflow(i) = α_i for i ≠ master  (conservation)
+//	outflow(m) − inflow(m) = Σ_{i≠m} α_i         (the master sources)
+//
+// maximize Σ_i α_i. The master's conservation row is implied by the others
+// and omitted. Equalities are encoded as constraint pairs with zero right-
+// hand sides, which keeps the slack basis feasible for the phase-1-free
+// simplex in internal/lp.
+package graphlp
+
+import (
+	"fmt"
+
+	"bwc/internal/graph"
+	"bwc/internal/lp"
+	"bwc/internal/rat"
+)
+
+// arc is one directed use of a bidirectional link.
+type arc struct {
+	from, to graph.NodeID
+	comm     rat.R
+}
+
+// Formulate builds the LP for g. The variable layout is α_0..α_{n-1}
+// followed by one variable per directed arc.
+func Formulate(g *graph.Graph) (lp.Problem, []string) {
+	n := g.Len()
+	var arcs []arc
+	var names []string
+	for u := 0; u < n; u++ {
+		for _, e := range g.Neighbors(graph.NodeID(u)) {
+			arcs = append(arcs, arc{from: graph.NodeID(u), to: e.To, comm: e.Comm})
+			names = append(names, fmt.Sprintf("x(%s->%s)", g.Name(graph.NodeID(u)), g.Name(e.To)))
+		}
+	}
+	vars := n + len(arcs)
+	prob := lp.Problem{C: make([]rat.R, vars)}
+	varNames := make([]string, 0, vars)
+	for i := 0; i < n; i++ {
+		prob.C[i] = rat.One
+		varNames = append(varNames, "alpha("+g.Name(graph.NodeID(i))+")")
+	}
+	varNames = append(varNames, names...)
+
+	addRow := func(row []rat.R, b rat.R) {
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, b)
+	}
+	// Rate bounds.
+	for i := 0; i < n; i++ {
+		row := make([]rat.R, vars)
+		row[i] = rat.One
+		addRow(row, g.Rate(graph.NodeID(i)))
+	}
+	// Port constraints.
+	for u := 0; u < n; u++ {
+		send := make([]rat.R, vars)
+		recv := make([]rat.R, vars)
+		touchedS, touchedR := false, false
+		for ai, a := range arcs {
+			if int(a.from) == u {
+				send[n+ai] = a.comm
+				touchedS = true
+			}
+			if int(a.to) == u {
+				recv[n+ai] = a.comm
+				touchedR = true
+			}
+		}
+		if touchedS {
+			addRow(send, rat.One)
+		}
+		if touchedR {
+			addRow(recv, rat.One)
+		}
+	}
+	// Conservation at every non-master node: inflow − outflow − α_i = 0,
+	// as two ≤ rows with b = 0.
+	for i := 0; i < n; i++ {
+		if graph.NodeID(i) == g.Master() {
+			continue
+		}
+		row := make([]rat.R, vars)
+		row[i] = rat.One // α_i
+		for ai, a := range arcs {
+			if int(a.to) == i {
+				row[n+ai] = row[n+ai].Sub(rat.One) // inflow
+			}
+			if int(a.from) == i {
+				row[n+ai] = row[n+ai].Add(rat.One) // outflow
+			}
+		}
+		// row·z ≤ 0 and −row·z ≤ 0 encode equality.
+		neg := make([]rat.R, vars)
+		for j := range row {
+			neg[j] = row[j].Neg()
+		}
+		addRow(row, rat.Zero)
+		addRow(neg, rat.Zero)
+	}
+	return prob, varNames
+}
+
+// OptimalThroughput returns the exact optimum of the graph LP.
+func OptimalThroughput(g *graph.Graph) (rat.R, error) {
+	if g.Len() == 0 {
+		return rat.Zero, nil
+	}
+	prob, _ := Formulate(g)
+	sol, err := lp.Maximize(prob)
+	if err != nil {
+		return rat.Zero, err
+	}
+	return sol.Objective, nil
+}

@@ -1,0 +1,172 @@
+package graphlp
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/graph"
+	"bwc/internal/rat"
+)
+
+func TestTreeGraphMatchesBWFirst(t *testing.T) {
+	// A graph that IS a tree must have the same optimum as BW-First on
+	// that tree.
+	g := graph.NewBuilder().
+		Node("m", rat.Two).
+		Node("w1", rat.FromInt(3)).
+		Node("w2", rat.Two).
+		Link("m", "w1", rat.One).
+		Link("m", "w2", rat.FromInt(3)).
+		Master("m").
+		MustBuild()
+	opt, err := OptimalThroughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := g.SpanningTree(graph.OverlayGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bwfirst.Solve(tr).Throughput // 19/18
+	if !opt.Equal(want) {
+		t.Fatalf("graph LP %s != tree optimum %s", opt, want)
+	}
+}
+
+func TestGraphUpperBoundsEveryOverlay(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(r, 12, 8, 0.2)
+		opt, err := OptimalThroughput(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, kind := range graph.OverlayKinds {
+			tr, err := g.SpanningTree(kind)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, kind, err)
+			}
+			treeOpt := bwfirst.Solve(tr).Throughput
+			if opt.Less(treeOpt) {
+				t.Fatalf("seed %d: overlay %v throughput %s exceeds graph optimum %s",
+					seed, kind, treeOpt, opt)
+			}
+		}
+	}
+}
+
+func TestDiamondRouting(t *testing.T) {
+	// Master with two disjoint relay paths to one fast worker: the
+	// worker's single receive port caps the aggregate, so the graph
+	// optimum equals the best single path — the routing-freedom of trees
+	// costs nothing here (the Section 1 rationale for trees).
+	g := graph.NewBuilder().
+		Switch("m").
+		Switch("a").
+		Switch("b").
+		Node("w", rat.New(1, 4)). // r = 4, link-starved
+		Link("m", "a", rat.One).
+		Link("m", "b", rat.One).
+		Link("a", "w", rat.One).
+		Link("b", "w", rat.One).
+		Master("m").
+		MustBuild()
+	opt, err := OptimalThroughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any single path delivers at most 1/c = 1 task/unit; so does the
+	// receive port of w with both paths combined.
+	if !opt.Equal(rat.One) {
+		t.Fatalf("diamond optimum = %s, want 1", opt)
+	}
+	tr, err := g.SpanningTree(graph.OverlayGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bwfirst.Solve(tr).Throughput; !got.Equal(opt) {
+		t.Fatalf("best overlay %s != graph optimum %s", got, opt)
+	}
+}
+
+func TestMasterComputesToo(t *testing.T) {
+	g := graph.NewBuilder().
+		Node("m", rat.One).
+		Node("w", rat.One).
+		Link("m", "w", rat.Two).
+		Master("m").
+		MustBuild()
+	opt, err := OptimalThroughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m computes 1; w gets 1/2 through the slow link.
+	if !opt.Equal(rat.New(3, 2)) {
+		t.Fatalf("optimum = %s", opt)
+	}
+}
+
+func TestCycleGraph(t *testing.T) {
+	// A ring: m - a - b - m. The LP routes both ways around.
+	g := graph.NewBuilder().
+		Node("m", rat.One).
+		Node("a", rat.One).
+		Node("b", rat.One).
+		Link("m", "a", rat.One).
+		Link("a", "b", rat.One).
+		Link("b", "m", rat.One).
+		Master("m").
+		MustBuild()
+	opt, err := OptimalThroughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m computes 1; sends to a and b directly: port x_a + x_b <= 1, each
+	// consumes up to 1 → total 2.
+	if !opt.Equal(rat.Two) {
+		t.Fatalf("ring optimum = %s", opt)
+	}
+	// The best overlay on a symmetric ring matches.
+	best := rat.Zero
+	for _, kind := range graph.OverlayKinds {
+		tr, err := g.SpanningTree(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best = rat.Max(best, bwfirst.Solve(tr).Throughput)
+	}
+	if !best.Equal(opt) {
+		t.Fatalf("best overlay %s != %s", best, opt)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	opt, err := OptimalThroughput(&graph.Graph{})
+	if err != nil || !opt.IsZero() {
+		t.Fatalf("%s %v", opt, err)
+	}
+	g := graph.NewBuilder().Node("m", rat.Two).Master("m").MustBuild()
+	opt, err = OptimalThroughput(g)
+	if err != nil || !opt.Equal(rat.New(1, 2)) {
+		t.Fatalf("%s %v", opt, err)
+	}
+}
+
+func TestFormulateShape(t *testing.T) {
+	g := graph.NewBuilder().
+		Node("m", rat.One).
+		Node("w", rat.One).
+		Link("m", "w", rat.One).
+		Master("m").
+		MustBuild()
+	prob, names := Formulate(g)
+	// Vars: 2 alphas + 2 directed arcs.
+	if len(prob.C) != 4 || len(names) != 4 {
+		t.Fatalf("vars = %d names = %d", len(prob.C), len(names))
+	}
+	// Rows: 2 rate + 2 send + 2 recv + 2 conservation (one non-master).
+	if len(prob.A) != 8 {
+		t.Fatalf("rows = %d", len(prob.A))
+	}
+}

@@ -1,0 +1,110 @@
+package infinite
+
+import (
+	"fmt"
+
+	"bwc/internal/fork"
+	"bwc/internal/rat"
+)
+
+// Level describes one level of a cyclic infinite tree: every node at this
+// level has Fanout children reached over Comm-weighted links, and computes
+// a task in Proc time units.
+type Level struct {
+	Fanout int
+	Proc   rat.R
+	Comm   rat.R // link time from this level down to the next
+}
+
+// Cyclic describes an infinite tree whose levels repeat the given sequence
+// forever: level i of the tree uses Levels[i mod len(Levels)]. A
+// single-entry Cyclic is equivalent to Spec.
+type Cyclic struct {
+	Levels []Level
+}
+
+// Validate checks the cycle.
+func (c Cyclic) Validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("infinite: empty level cycle")
+	}
+	for i, l := range c.Levels {
+		if l.Fanout < 1 {
+			return fmt.Errorf("infinite: level %d: fanout must be >= 1", i)
+		}
+		if !l.Proc.IsPos() {
+			return fmt.Errorf("infinite: level %d: proc time must be > 0", i)
+		}
+		if !l.Comm.IsPos() {
+			return fmt.Errorf("infinite: level %d: comm time must be > 0", i)
+		}
+	}
+	return nil
+}
+
+// reduceLevel applies one fork reduction: a node of level l whose children
+// all have equivalent rate x.
+func reduceLevel(l Level, x rat.R) rat.R {
+	children := make([]fork.Child, l.Fanout)
+	for i := range children {
+		children[i] = fork.Child{Comm: l.Comm, Rate: x}
+	}
+	return fork.Reduce(l.Proc.Inv(), children).Rate
+}
+
+// TruncatedRate returns the equivalent rate of the tree truncated after
+// depth levels, rooted at level 0 (depth 0 is a lone level-0 node).
+func (c Cyclic) TruncatedRate(depth int) (rat.R, error) {
+	if err := c.Validate(); err != nil {
+		return rat.Zero, err
+	}
+	if depth < 0 {
+		return rat.Zero, fmt.Errorf("infinite: negative depth %d", depth)
+	}
+	L := len(c.Levels)
+	// The node at depth d (0-based from the root) belongs to level d mod L.
+	// Build bottom-up from the deepest truncated level.
+	x := c.Levels[depth%L].Proc.Inv()
+	for d := depth - 1; d >= 0; d-- {
+		x = reduceLevel(c.Levels[d%L], x)
+	}
+	return x, nil
+}
+
+// Rate returns the exact equivalent rate of the infinite cyclic tree,
+// found as the fixed point of the L-level composed reduction. The
+// composition of saturating piecewise-linear maps converges exactly in
+// finitely many iterations: each pass either grows the rate by at least
+// the cycle's compute contribution or saturates a port, after which the
+// value repeats. maxIter guards against pathological specs; the default
+// (0) allows 1<<20 iterations.
+func (c Cyclic) Rate(maxIter int) (rat.R, error) {
+	if err := c.Validate(); err != nil {
+		return rat.Zero, err
+	}
+	if maxIter <= 0 {
+		maxIter = 1 << 20
+	}
+	L := len(c.Levels)
+	// Iterate the full-cycle map starting from the leaf rate of level 0.
+	x := c.Levels[0].Proc.Inv()
+	for i := 0; i < maxIter; i++ {
+		next := x
+		for d := L - 1; d >= 0; d-- {
+			next = reduceLevel(c.Levels[d], next)
+		}
+		if next.Equal(x) {
+			return x, nil
+		}
+		if next.Less(x) {
+			return rat.Zero, fmt.Errorf("infinite: cyclic reduction not monotone (bug)")
+		}
+		x = next
+	}
+	return rat.Zero, fmt.Errorf("infinite: no fixed point within %d iterations", maxIter)
+}
+
+// Uniform converts a Spec into its single-level Cyclic equivalent.
+func (s Spec) Cyclic() Cyclic {
+	return Cyclic{Levels: []Level{{Fanout: s.Fanout, Proc: s.Proc, Comm: s.Comm}}}
+}

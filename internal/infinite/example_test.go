@@ -1,0 +1,21 @@
+package infinite_test
+
+import (
+	"fmt"
+
+	"bwc/internal/infinite"
+	"bwc/internal/rat"
+)
+
+func ExampleSpec_Rate() {
+	// An infinite binary tree of unit-speed workers over unit links can
+	// sustain 1/w + 1/c = 2 tasks per time unit.
+	s := infinite.Spec{Fanout: 2, Proc: rat.One, Comm: rat.One}
+	r, _ := s.Rate()
+	fmt.Println("infinite rate:", r)
+	d3, _ := s.TruncatedRate(3)
+	fmt.Println("depth-3 truncation:", d3)
+	// Output:
+	// infinite rate: 2
+	// depth-3 truncation: 2
+}

@@ -1,0 +1,324 @@
+package infinite
+
+import (
+	"fmt"
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+func TestRateClosedForm(t *testing.T) {
+	cases := []struct {
+		k    int
+		w, c rat.R
+		want rat.R
+	}{
+		{1, rat.One, rat.One, rat.Two},
+		{2, rat.Two, rat.New(1, 2), rat.New(5, 2)}, // 1/2 + 2
+		{4, rat.FromInt(3), rat.FromInt(5), rat.New(8, 15)},
+	}
+	for _, c := range cases {
+		got, err := Spec{Fanout: c.k, Proc: c.w, Comm: c.c}.Rate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("k=%d w=%s c=%s: rate %s, want %s", c.k, c.w, c.c, got, c.want)
+		}
+	}
+}
+
+func TestTruncationMonotoneAndBounded(t *testing.T) {
+	s := Spec{Fanout: 3, Proc: rat.Two, Comm: rat.New(3, 2)}
+	limit, err := s.Rate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := rat.Zero
+	for d := 0; d <= 12; d++ {
+		x, err := s.TruncatedRate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Less(prev) {
+			t.Fatalf("depth %d: rate decreased %s -> %s", d, prev, x)
+		}
+		if limit.Less(x) {
+			t.Fatalf("depth %d: rate %s exceeds the infinite limit %s", d, x, limit)
+		}
+		prev = x
+	}
+	// By depth 12 the gap must be tiny (geometric convergence).
+	gap := limit.Sub(prev)
+	if !gap.Less(limit.Mul(rat.New(1, 100))) {
+		t.Fatalf("gap after depth 12 still %s of limit %s", gap, limit)
+	}
+}
+
+// TestTruncationMatchesExplicitTree: the iterated reduction must equal
+// BW-First's throughput on an explicitly built uniform tree of the same
+// depth (with the root's virtual-parent cap removed by comparing the
+// bottom-up equivalent rate instead — here the root cap never binds since
+// t_max = r + b = the infinite rate ≥ any truncation).
+func TestTruncationMatchesExplicitTree(t *testing.T) {
+	s := Spec{Fanout: 2, Proc: rat.Two, Comm: rat.One}
+	for depth := 0; depth <= 4; depth++ {
+		b := tree.NewBuilder().Root("n", s.Proc)
+		build(b, "n", s, depth)
+		tr := b.MustBuild()
+		want := bwfirst.Solve(tr).Throughput
+		got, err := s.TruncatedRate(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("depth %d: iterated %s != explicit tree %s", depth, got, want)
+		}
+	}
+}
+
+func build(b *tree.Builder, parent string, s Spec, depth int) {
+	if depth == 0 {
+		return
+	}
+	for i := 0; i < s.Fanout; i++ {
+		name := parent + "." + string(rune('a'+i))
+		b.Child(parent, name, s.Comm, s.Proc)
+		build(b, name, s, depth-1)
+	}
+}
+
+func TestDepthWithin(t *testing.T) {
+	s := Spec{Fanout: 2, Proc: rat.One, Comm: rat.One}
+	d, rate, err := s.DepthWithin(rat.New(1, 100), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit, _ := s.Rate()
+	if limit.Sub(rate).Sub(limit.Mul(rat.New(1, 100))).IsPos() {
+		t.Fatalf("depth %d rate %s not within 1%% of %s", d, rate, limit)
+	}
+	if d == 0 {
+		t.Fatal("depth 0 already within 1%?")
+	}
+	// Depth 0 must already satisfy a huge tolerance.
+	d0, _, err := s.DepthWithin(rat.New(99, 100), 4)
+	if err != nil || d0 != 0 {
+		t.Fatalf("d0 = %d err %v", d0, err)
+	}
+}
+
+func TestDepthWithinUnreachable(t *testing.T) {
+	// A chain with an extremely fast link: the port only saturates once
+	// the subtree rate exceeds b = 1000, i.e. after ~1000 levels, so a
+	// tight tolerance cannot be met within depth 3.
+	s := Spec{Fanout: 1, Proc: rat.One, Comm: rat.New(1, 1000)}
+	if _, _, err := s.DepthWithin(rat.New(1, 1000000), 3); err == nil {
+		t.Fatal("impossible tolerance accepted")
+	}
+}
+
+func TestChainConvergesLinearly(t *testing.T) {
+	// In the compute-limited regime of a chain the truncation gains
+	// exactly r per level until the link saturates, then lands exactly on
+	// the infinite rate — finite exact convergence.
+	s := Spec{Fanout: 1, Proc: rat.One, Comm: rat.New(1, 4)}
+	limit, _ := s.Rate() // 1 + 4 = 5
+	if !limit.Equal(rat.FromInt(5)) {
+		t.Fatalf("limit = %s", limit)
+	}
+	for d, want := range []int64{1, 2, 3, 4, 5, 5, 5} {
+		x, err := s.TruncatedRate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !x.Equal(rat.FromInt(want)) {
+			t.Fatalf("depth %d: rate %s, want %d", d, x, want)
+		}
+	}
+}
+
+func TestConvergenceTableGeometric(t *testing.T) {
+	s := Spec{Fanout: 2, Proc: rat.Two, Comm: rat.One}
+	rates, gaps, err := s.ConvergenceTable(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 9 || len(gaps) != 9 {
+		t.Fatalf("table sizes %d %d", len(rates), len(gaps))
+	}
+	// Gaps shrink (at least weakly) every level and strictly overall.
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i-1].Less(gaps[i]) {
+			t.Fatalf("gap grew at depth %d: %s -> %s", i, gaps[i-1], gaps[i])
+		}
+	}
+	if !gaps[8].Less(gaps[0]) {
+		t.Fatal("no overall convergence")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Spec{
+		{Fanout: 0, Proc: rat.One, Comm: rat.One},
+		{Fanout: 1, Proc: rat.Zero, Comm: rat.One},
+		{Fanout: 1, Proc: rat.One, Comm: rat.Zero},
+	}
+	for _, s := range bad {
+		if _, err := s.Rate(); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+	if _, err := (Spec{Fanout: 1, Proc: rat.One, Comm: rat.One}).TruncatedRate(-1); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, _, err := (Spec{Fanout: 1, Proc: rat.One, Comm: rat.One}).DepthWithin(rat.Two, 4); err == nil {
+		t.Error("frac >= 1 accepted")
+	}
+}
+
+func TestCyclicMatchesUniform(t *testing.T) {
+	s := Spec{Fanout: 2, Proc: rat.Two, Comm: rat.One}
+	want, err := s.Rate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Cyclic().Rate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("cyclic %s != uniform closed form %s", got, want)
+	}
+	// Truncations agree too.
+	for d := 0; d <= 5; d++ {
+		a, err := s.TruncatedRate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Cyclic().TruncatedRate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("depth %d: %s != %s", d, a, b)
+		}
+	}
+}
+
+func TestCyclicTwoLevel(t *testing.T) {
+	// Alternate switch-like relay levels (slow compute, fast fanout) with
+	// worker levels. The fixed point must be a valid upper bound on every
+	// truncation and reached exactly.
+	c := Cyclic{Levels: []Level{
+		{Fanout: 2, Proc: rat.FromInt(100), Comm: rat.One}, // relay level
+		{Fanout: 1, Proc: rat.Two, Comm: rat.New(1, 2)},    // worker level
+	}}
+	limit, err := c.Rate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !limit.IsPos() {
+		t.Fatal("zero cyclic rate")
+	}
+	prev := rat.Zero
+	for d := 0; d <= 16; d++ {
+		x, err := c.TruncatedRate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncations rooted at level 0 at even depths are the F-iterates
+		// and must be monotone and bounded by the fixed point.
+		if d%2 == 0 {
+			if x.Less(prev) {
+				t.Fatalf("depth %d: decreased", d)
+			}
+			if limit.Less(x) {
+				t.Fatalf("depth %d: %s exceeds fixed point %s", d, x, limit)
+			}
+			prev = x
+		}
+	}
+	if !prev.Equal(limit) {
+		t.Fatalf("truncations converge to %s, fixed point %s", prev, limit)
+	}
+}
+
+func TestCyclicMatchesExplicitTree(t *testing.T) {
+	// Cross-check the 2-level cyclic truncation against an explicitly
+	// built alternating tree solved by BW-First.
+	c := Cyclic{Levels: []Level{
+		{Fanout: 2, Proc: rat.FromInt(3), Comm: rat.One},
+		{Fanout: 2, Proc: rat.Two, Comm: rat.Two},
+	}}
+	b := tree.NewBuilder().Root("n", c.Levels[0].Proc)
+	var grow func(parent string, depth int)
+	grow = func(parent string, depth int) {
+		if depth == 4 {
+			return
+		}
+		l := c.Levels[depth%2]
+		childL := c.Levels[(depth+1)%2]
+		for i := 0; i < l.Fanout; i++ {
+			name := fmt.Sprintf("%s.%d", parent, i)
+			b.Child(parent, name, l.Comm, childL.Proc)
+			grow(name, depth+1)
+		}
+	}
+	grow("n", 0)
+	tr := b.MustBuild()
+	want := bwfirst.Solve(tr).Throughput
+	got, err := c.TruncatedRate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("cyclic truncation %s != explicit tree %s", got, want)
+	}
+}
+
+func TestCyclicValidation(t *testing.T) {
+	if _, err := (Cyclic{}).Rate(0); err == nil {
+		t.Fatal("empty cycle accepted")
+	}
+	bad := Cyclic{Levels: []Level{{Fanout: 0, Proc: rat.One, Comm: rat.One}}}
+	if _, err := bad.Rate(0); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	ok := Cyclic{Levels: []Level{{Fanout: 1, Proc: rat.One, Comm: rat.One}}}
+	if _, err := ok.TruncatedRate(-1); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+	// Iteration guard: a spec needing many iterations with maxIter 1.
+	slow := Cyclic{Levels: []Level{{Fanout: 1, Proc: rat.One, Comm: rat.New(1, 100)}}}
+	if _, err := slow.Rate(1); err == nil {
+		t.Fatal("iteration guard did not trip")
+	}
+}
+
+func TestRemainingErrorBranches(t *testing.T) {
+	badLevels := []Cyclic{
+		{Levels: []Level{{Fanout: 1, Proc: rat.Zero, Comm: rat.One}}},
+		{Levels: []Level{{Fanout: 1, Proc: rat.One, Comm: rat.Zero}}},
+	}
+	for _, c := range badLevels {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad cyclic %+v validated", c)
+		}
+		if _, err := c.TruncatedRate(2); err == nil {
+			t.Error("bad cyclic truncated")
+		}
+	}
+	badSpec := Spec{Fanout: 1, Proc: rat.Zero, Comm: rat.One}
+	if _, err := badSpec.TruncatedRate(2); err == nil {
+		t.Error("bad spec truncated")
+	}
+	if _, _, err := badSpec.DepthWithin(rat.New(1, 2), 4); err == nil {
+		t.Error("bad spec DepthWithin")
+	}
+	if _, _, err := badSpec.ConvergenceTable(4); err == nil {
+		t.Error("bad spec ConvergenceTable")
+	}
+}

@@ -1,0 +1,306 @@
+package kreaseck
+
+import (
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+	"bwc/internal/treegen"
+)
+
+func TestSingleNodeComputesAtFullRate(t *testing.T) {
+	tr := tree.NewBuilder().Root("P0", rat.Two).MustBuild()
+	run, err := Simulate(tr, Options{Stop: rat.FromInt(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate 1/2 over 20 units → 10 tasks.
+	if run.Stats.Completed != 10 {
+		t.Fatalf("completed = %d", run.Stats.Completed)
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReachesOptimalRateWhenBandwidthAmple(t *testing.T) {
+	// Compute-limited platform: demand-driven should sustain the optimal
+	// rate once buffers fill.
+	tr := tree.NewBuilder().
+		Root("P0", rat.FromInt(4)).
+		Child("P0", "P1", rat.New(1, 4), rat.FromInt(4)).
+		Child("P0", "P2", rat.New(1, 4), rat.FromInt(4)).
+		MustBuild()
+	opt := bwfirst.Solve(tr).Throughput // 3/4
+	run, err := Simulate(tr, Options{Stop: rat.FromInt(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completions in a late window of 40 units should be ≈ opt·40 = 30.
+	got := run.Trace.CompletedIn(rat.FromInt(320), rat.FromInt(360))
+	want := opt.Mul(rat.FromInt(40))
+	wantN, _ := want.Int64()
+	if int64(got) < wantN-1 {
+		t.Fatalf("late window completed %d, optimal %d", got, wantN)
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuffersOvershootEventDriven(t *testing.T) {
+	// The demand-driven protocol hoards BufferTarget tasks per node even
+	// where steady state needs fewer: with a fast link and a slow CPU the
+	// initial burst of requests is delivered long before the node can
+	// consume it. (The paper's event-driven schedule holds ~0 here.)
+	tr := tree.NewBuilder().
+		RootSwitch("m").
+		Child("m", "w", rat.New(1, 10), rat.FromInt(5)).
+		MustBuild()
+	run, err := Simulate(tr, Options{Stop: rat.FromInt(200), BufferTarget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.MaxHeld < 3 {
+		t.Fatalf("max held = %d; expected hoarding near the target of 4", run.Stats.MaxHeld)
+	}
+}
+
+func TestNonInterruptibleSuboptimality(t *testing.T) {
+	// A platform where committing the port to the slow child hurts: one
+	// very fast link and one very slow link, tight bandwidth. The
+	// demand-driven run must not exceed the optimum, and the windowed
+	// rate typically stays below it.
+	tr := tree.NewBuilder().
+		RootSwitch("m").
+		Child("m", "fast", rat.One, rat.One).
+		Child("m", "slow", rat.FromInt(10), rat.FromInt(10)).
+		MustBuild()
+	opt := bwfirst.Solve(tr).Throughput
+	run, err := Simulate(tr, Options{Stop: rat.FromInt(300)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run.Trace.CompletedIn(rat.FromInt(200), rat.FromInt(300))
+	bound := opt.Mul(rat.FromInt(100))
+	if rat.FromInt(int64(got)).Sub(bound).IsPos() {
+		t.Fatalf("window rate %d exceeds optimal %s", got, bound)
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainAfterStop(t *testing.T) {
+	tr := tree.NewBuilder().
+		Root("P0", rat.FromInt(3)).
+		Child("P0", "P1", rat.One, rat.Two).
+		MustBuild()
+	run, err := Simulate(tr, Options{Stop: rat.FromInt(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.WindDown.IsNeg() {
+		t.Fatal("negative wind-down")
+	}
+	last, ok := run.Trace.LastCompletion()
+	if !ok {
+		t.Fatal("no completions")
+	}
+	if got := run.Stats.StopAt.Add(run.Stats.WindDown); !got.Equal(rat.Max(last, run.Stats.StopAt)) {
+		t.Fatalf("wind-down accounting: stop+wd = %s, last = %s", got, last)
+	}
+}
+
+func TestNeverExceedsOptimalAcrossGenerators(t *testing.T) {
+	for _, k := range []treegen.Kind{treegen.Uniform, treegen.BandwidthLimited, treegen.ComputeLimited} {
+		for seed := int64(0); seed < 5; seed++ {
+			tr := treegen.Generate(k, 10, seed)
+			opt := bwfirst.Solve(tr).Throughput
+			run, err := Simulate(tr, Options{Stop: rat.FromInt(120), SkipIntervals: true})
+			if err != nil {
+				t.Fatalf("%v/%d: %v", k, seed, err)
+			}
+			// Steady-state optimality is an upper bound on any sustained
+			// window; allow the fractional remainder.
+			got := run.Trace.CompletedIn(rat.FromInt(80), rat.FromInt(120))
+			bound := opt.Mul(rat.FromInt(40)).Add(rat.FromInt(int64(tr.Len())))
+			if rat.FromInt(int64(got)).Sub(bound).IsPos() {
+				t.Fatalf("%v/%d: window %d above bound %s", k, seed, got, bound)
+			}
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	tr := tree.NewBuilder().Root("P0", rat.One).MustBuild()
+	if _, err := Simulate(tr, Options{}); err == nil {
+		t.Fatal("missing Stop accepted")
+	}
+	if _, err := Simulate(&tree.Tree{}, Options{Stop: rat.One}); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestSwitchOnlyPlatformIdles(t *testing.T) {
+	tr := tree.NewBuilder().RootSwitch("a").SwitchChild("a", "b", rat.One).MustBuild()
+	run, err := Simulate(tr, Options{Stop: rat.FromInt(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.Completed != 0 {
+		t.Fatalf("switches computed %d tasks", run.Stats.Completed)
+	}
+}
+
+// fastSlowPlatform is the scenario where non-interruptible communication
+// hurts: the fast-link child consumes intermittently (its CPU is slower
+// than its link, so after topping up its buffer it goes quiet), the master
+// commits its port to a very slow transmission, and then the fast child's
+// next request arrives mid-transfer.
+func fastSlowPlatform() *tree.Tree {
+	return tree.NewBuilder().
+		RootSwitch("m").
+		Child("m", "fast", rat.One, rat.FromInt(5)).
+		Child("m", "slow", rat.FromInt(10), rat.FromInt(10)).
+		MustBuild()
+}
+
+func TestInterruptiblePreempts(t *testing.T) {
+	tr := fastSlowPlatform()
+	run, err := Simulate(tr, Options{Stop: rat.FromInt(300), Interruptible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.Aborted == 0 {
+		t.Fatal("interruptible run never preempted on the fast/slow platform")
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-interruptible run must report zero aborts.
+	ni, err := Simulate(tr, Options{Stop: rat.FromInt(300)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.Stats.Aborted != 0 {
+		t.Fatalf("non-interruptible run aborted %d times", ni.Stats.Aborted)
+	}
+}
+
+func TestInterruptibleServesFastChildBetter(t *testing.T) {
+	// Preemption should let the fast child consume at least as much as
+	// under the non-interruptible model (the motivation for the model in
+	// [12]).
+	tr := fastSlowPlatform()
+	fast := tr.MustLookup("fast")
+	count := func(run *Run) int {
+		n := 0
+		for _, c := range run.Trace.Completions {
+			if c.Node == fast && c.At.Less(rat.FromInt(250)) {
+				n++
+			}
+		}
+		return n
+	}
+	ni, err := Simulate(tr, Options{Stop: rat.FromInt(250), SkipIntervals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := Simulate(tr, Options{Stop: rat.FromInt(250), SkipIntervals: true, Interruptible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count(ir) < count(ni) {
+		t.Fatalf("interruptible fast-child completions %d < non-interruptible %d", count(ir), count(ni))
+	}
+}
+
+func TestInterruptibleConservation(t *testing.T) {
+	// Preempted tasks return to the buffer: with a task budget every task
+	// still completes exactly once.
+	tr := fastSlowPlatform()
+	run, err := Simulate(tr, Options{MaxTasks: 150, Interruptible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.Completed != 150 {
+		t.Fatalf("completed %d of 150", run.Stats.Completed)
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxTasksMode(t *testing.T) {
+	tr := tree.NewBuilder().
+		Root("P0", rat.Two).
+		Child("P0", "P1", rat.One, rat.FromInt(3)).
+		MustBuild()
+	run, err := Simulate(tr, Options{MaxTasks: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.Completed != 30 {
+		t.Fatalf("completed %d", run.Stats.Completed)
+	}
+	if !run.Stats.Makespan.IsPos() || run.Stats.Makespan.Less(run.Stats.StopAt) {
+		t.Fatalf("makespan %s stop %s", run.Stats.Makespan, run.Stats.StopAt)
+	}
+	// Exactly one stopping rule.
+	if _, err := Simulate(tr, Options{MaxTasks: 5, Stop: rat.One}); err == nil {
+		t.Fatal("both Stop and MaxTasks accepted")
+	}
+	if _, err := Simulate(tr, Options{}); err == nil {
+		t.Fatal("neither Stop nor MaxTasks accepted")
+	}
+}
+
+func TestResumePreemptionBeatsRestart(t *testing.T) {
+	// With resume semantics the slow child's transfer eventually
+	// completes despite repeated preemptions; with abort-restart the
+	// wasted bandwidth makes the platform strictly slower (or at best
+	// equal) over a long window.
+	tr := fastSlowPlatform()
+	stop := rat.FromInt(400)
+	restart, err := Simulate(tr, Options{Stop: stop, Interruptible: true, SkipIntervals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume, err := Simulate(tr, Options{Stop: stop, Interruptible: true, Resume: true, SkipIntervals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resume.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if resume.Stats.Completed < restart.Stats.Completed {
+		t.Fatalf("resume completed %d < restart %d", resume.Stats.Completed, restart.Stats.Completed)
+	}
+	// The slow child actually finishes work under resume.
+	slow := tr.MustLookup("slow")
+	slowDone := 0
+	for _, c := range resume.Trace.Completions {
+		if c.Node == slow {
+			slowDone++
+		}
+	}
+	if slowDone == 0 {
+		t.Fatal("slow child never completed a task under resume")
+	}
+}
+
+func TestResumeConservation(t *testing.T) {
+	tr := fastSlowPlatform()
+	run, err := Simulate(tr, Options{MaxTasks: 120, Interruptible: true, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.Completed != 120 {
+		t.Fatalf("completed %d of 120", run.Stats.Completed)
+	}
+	if err := run.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package lp provides an exact rational linear-programming solver and the
+// steady-state throughput LP for tree platforms.
+//
+// The LP is the independent optimality oracle for this reproduction: Banino
+// et al. [2] showed that the maximum steady-state throughput of a platform
+// under the single-port full-overlap model is the optimum of a linear
+// program. On a tree the edge flows are determined by the subtree compute
+// rates, so the LP reduces to the α variables only (see Formulate). The E6
+// experiment cross-checks BW-First, the bottom-up reduction and this LP
+// against each other on random platforms.
+//
+// The solver is a dense primal simplex over exact rationals with Bland's
+// rule, which guarantees termination without cycling. It only accepts
+// problems with b ≥ 0 (slack basis feasible) — all our formulations satisfy
+// this by construction, so no phase-1 is needed.
+package lp
+
+import (
+	"fmt"
+
+	"bwc/internal/rat"
+)
+
+// Problem is: maximize C·x subject to A·x ≤ B, x ≥ 0, with B ≥ 0.
+type Problem struct {
+	C []rat.R
+	A [][]rat.R
+	B []rat.R
+}
+
+// Solution holds an optimal vertex.
+type Solution struct {
+	Objective rat.R
+	X         []rat.R
+	// Pivots counts simplex iterations (for reporting).
+	Pivots int
+}
+
+// Maximize solves the problem exactly. It returns an error for malformed
+// input, negative B entries, or an unbounded objective.
+func Maximize(p Problem) (Solution, error) {
+	m, n := len(p.A), len(p.C)
+	if len(p.B) != m {
+		return Solution{}, fmt.Errorf("lp: %d rows but %d bounds", m, len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		if p.B[i].IsNeg() {
+			return Solution{}, fmt.Errorf("lp: b[%d] = %s < 0 (phase-1 not supported)", i, p.B[i])
+		}
+	}
+
+	// Tableau: m rows × (n + m) columns plus RHS; slack basis.
+	cols := n + m
+	tab := make([][]rat.R, m)
+	rhs := make([]rat.R, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]rat.R, cols)
+		copy(tab[i], p.A[i])
+		tab[i][n+i] = rat.One
+		rhs[i] = p.B[i]
+		basis[i] = n + i
+	}
+	// Reduced costs (slacks cost 0, so initially = C) and objective value.
+	red := make([]rat.R, cols)
+	copy(red, p.C)
+	obj := rat.Zero
+
+	sol := Solution{}
+	for {
+		// Bland entering rule: smallest index with positive reduced cost.
+		enter := -1
+		for j := 0; j < cols; j++ {
+			if red[j].IsPos() {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Ratio test; Bland ties by smallest basis variable index.
+		leave := -1
+		var best rat.R
+		for i := 0; i < m; i++ {
+			if !tab[i][enter].IsPos() {
+				continue
+			}
+			ratio := rhs[i].Div(tab[i][enter])
+			if leave < 0 || ratio.Less(best) ||
+				(ratio.Equal(best) && basis[i] < basis[leave]) {
+				leave, best = i, ratio
+			}
+		}
+		if leave < 0 {
+			return Solution{}, fmt.Errorf("lp: unbounded in direction of variable %d", enter)
+		}
+		pivot(tab, rhs, red, &obj, leave, enter)
+		basis[leave] = enter
+		sol.Pivots++
+	}
+
+	sol.Objective = obj
+	sol.X = make([]rat.R, n)
+	for i, bv := range basis {
+		if bv < n {
+			sol.X[bv] = rhs[i]
+		}
+	}
+	return sol, nil
+}
+
+// pivot performs a full tableau pivot on (row, col).
+func pivot(tab [][]rat.R, rhs []rat.R, red []rat.R, obj *rat.R, row, col int) {
+	p := tab[row][col]
+	inv := p.Inv()
+	for j := range tab[row] {
+		tab[row][j] = tab[row][j].Mul(inv)
+	}
+	rhs[row] = rhs[row].Mul(inv)
+	for i := range tab {
+		if i == row || tab[i][col].IsZero() {
+			continue
+		}
+		f := tab[i][col]
+		for j := range tab[i] {
+			tab[i][j] = tab[i][j].Sub(f.Mul(tab[row][j]))
+		}
+		rhs[i] = rhs[i].Sub(f.Mul(rhs[row]))
+	}
+	if !red[col].IsZero() {
+		f := red[col]
+		for j := range red {
+			red[j] = red[j].Sub(f.Mul(tab[row][j]))
+		}
+		*obj = obj.Add(f.Mul(rhs[row]))
+	}
+}

@@ -1,0 +1,68 @@
+package lp
+
+import (
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// Formulate builds the steady-state throughput LP of a tree platform in
+// the per-node compute rates α_i:
+//
+//	maximize   Σ_i α_i
+//	subject to α_i ≤ r_i                                  (rate bounds)
+//	           Σ_{c ∈ children(i)} c_{i,c} · S_c ≤ 1      (send ports)
+//	           α ≥ 0
+//
+// where S_c = Σ_{j ∈ subtree(c)} α_j is the flow on the edge into c. On a
+// tree the edge flows are exactly these subtree sums (every task computed
+// below c must cross the edge into c), which eliminates the flow variables
+// of the general-graph LP of Banino et al. [2]. The receive-port
+// constraints c_{i,c}·S_c ≤ 1 are implied by the send-port rows (all terms
+// are non-negative), so they are omitted.
+func Formulate(t *tree.Tree) Problem {
+	n := t.Len()
+	p := Problem{C: make([]rat.R, n)}
+	for i := 0; i < n; i++ {
+		p.C[i] = rat.One
+	}
+	// Rate bounds.
+	for i := 0; i < n; i++ {
+		row := make([]rat.R, n)
+		row[i] = rat.One
+		p.A = append(p.A, row)
+		p.B = append(p.B, t.Rate(tree.NodeID(i)))
+	}
+	// Send-port rows: coefficient of α_j in node i's row is c_{i,child}
+	// for the child whose subtree contains j.
+	for i := 0; i < n; i++ {
+		id := tree.NodeID(i)
+		children := t.Children(id)
+		if len(children) == 0 {
+			continue
+		}
+		row := make([]rat.R, n)
+		for _, c := range children {
+			cc := t.CommTime(c)
+			t.Walk(c, func(j tree.NodeID) bool {
+				row[j] = cc
+				return true
+			})
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, rat.One)
+	}
+	return p
+}
+
+// OptimalThroughput solves the steady-state LP for t and returns the
+// optimum Σα along with the witness rates.
+func OptimalThroughput(t *tree.Tree) (rat.R, []rat.R, error) {
+	if t.Len() == 0 {
+		return rat.Zero, nil, nil
+	}
+	sol, err := Maximize(Formulate(t))
+	if err != nil {
+		return rat.Zero, nil, err
+	}
+	return sol.Objective, sol.X, nil
+}

@@ -1,0 +1,94 @@
+// Package makespan evaluates the paper's Section 2 claim that the
+// bandwidth-centric steady-state strategy is "a good heuristic candidate"
+// for the NP-hard makespan-minimization problem on heterogeneous trees
+// (Dutot [11]): because start-up and wind-down are short and the steady
+// state is optimal, scheduling a finite batch of N tasks with the
+// event-driven schedule should finish within a small additive overhead of
+// the trivial steady-state lower bound N/ρ*, where ρ* is the optimal
+// steady-state throughput.
+//
+// The package wraps the two simulators in batch mode and reports the
+// makespan, the lower bound, and their ratio; experiment E12 sweeps N and
+// shows the ratio converging to 1.
+package makespan
+
+import (
+	"fmt"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/kreaseck"
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/sim"
+	"bwc/internal/tree"
+)
+
+// Result reports one batch run.
+type Result struct {
+	N          int
+	Makespan   rat.R
+	LowerBound rat.R // N / optimal steady-state throughput
+	// Ratio is Makespan / LowerBound as a float for reporting.
+	Ratio float64
+	// Overhead is Makespan − LowerBound: the absolute cost of start-up,
+	// rounding and wind-down.
+	Overhead rat.R
+}
+
+// Bound returns the steady-state lower bound N/ρ* on any schedule's
+// makespan (no schedule can sustain more than ρ* tasks per unit). A zero
+// throughput yields an error.
+func Bound(t *tree.Tree, n int) (rat.R, error) {
+	if n <= 0 {
+		return rat.Zero, fmt.Errorf("makespan: n must be positive")
+	}
+	thr := bwfirst.Solve(t).Throughput
+	if !thr.IsPos() {
+		return rat.Zero, fmt.Errorf("makespan: platform has zero throughput")
+	}
+	return rat.FromInt(int64(n)).Div(thr), nil
+}
+
+func result(t *tree.Tree, n int, ms rat.R) (Result, error) {
+	lb, err := Bound(t, n)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		N:          n,
+		Makespan:   ms,
+		LowerBound: lb,
+		Ratio:      ms.Float64() / lb.Float64(),
+		Overhead:   ms.Sub(lb),
+	}, nil
+}
+
+// EventDriven runs the paper's event-driven schedule on a batch of n
+// tasks and measures the makespan.
+func EventDriven(t *tree.Tree, n int) (Result, error) {
+	res := bwfirst.Solve(t)
+	s, err := sched.Build(res, sched.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	run, err := sim.Simulate(s, sim.Options{Tasks: n, SkipIntervals: true})
+	if err != nil {
+		return Result{}, err
+	}
+	if run.Stats.Completed != n {
+		return Result{}, fmt.Errorf("makespan: %d of %d tasks completed", run.Stats.Completed, n)
+	}
+	return result(t, n, run.Stats.Makespan)
+}
+
+// DemandDriven runs the Kreaseck-style comparator on the same batch.
+func DemandDriven(t *tree.Tree, n int) (Result, error) {
+	run, err := kreaseck.Simulate(t, kreaseck.Options{MaxTasks: n, SkipIntervals: true})
+	if err != nil {
+		return Result{}, err
+	}
+	if run.Stats.Completed != n {
+		return Result{}, fmt.Errorf("makespan: %d of %d tasks completed", run.Stats.Completed, n)
+	}
+	return result(t, n, run.Stats.Makespan)
+}

@@ -1,0 +1,154 @@
+package makespan
+
+import (
+	"testing"
+
+	"bwc/internal/paperexample"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+	"bwc/internal/treegen"
+)
+
+func TestSingleNodeExact(t *testing.T) {
+	tr := tree.NewBuilder().Root("P0", rat.Two).MustBuild()
+	res, err := EventDriven(tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower bound 5/(1/2) = 10; the paced root releases at 1,3,5,7,9 and
+	// the 5th completes at 11 (one pipeline fill of w = 2).
+	if !res.LowerBound.Equal(rat.FromInt(10)) {
+		t.Fatalf("bound = %s", res.LowerBound)
+	}
+	if !res.Makespan.Equal(rat.FromInt(11)) {
+		t.Fatalf("makespan = %s", res.Makespan)
+	}
+	if !res.Overhead.Equal(rat.One) {
+		t.Fatalf("overhead = %s", res.Overhead)
+	}
+}
+
+func TestRatioApproachesOne(t *testing.T) {
+	tr := paperexample.Tree()
+	prev := 100.0
+	for _, n := range []int{20, 100, 400} {
+		res, err := EventDriven(tr, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ratio < 1.0 {
+			t.Fatalf("n=%d: ratio %.4f below 1 (bound violated!)", n, res.Ratio)
+		}
+		if res.Ratio > prev+1e-9 {
+			t.Fatalf("n=%d: ratio %.4f grew from %.4f", n, res.Ratio, prev)
+		}
+		prev = res.Ratio
+	}
+	if prev > 1.2 {
+		t.Fatalf("ratio at n=400 still %.3f; heuristic overhead too large", prev)
+	}
+}
+
+func TestOverheadStaysBounded(t *testing.T) {
+	// The absolute overhead (start-up + wind-down + rounding) must not
+	// grow with N — that is what makes the strategy a makespan heuristic.
+	tr := paperexample.Tree()
+	small, err := EventDriven(tr, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := EventDriven(tr, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow one tree period of slack for alignment effects.
+	slack := rat.FromInt(360)
+	if large.Overhead.Sub(small.Overhead).Sub(slack).IsPos() {
+		t.Fatalf("overhead grew: %s -> %s", small.Overhead, large.Overhead)
+	}
+}
+
+func TestDemandDrivenComparable(t *testing.T) {
+	tr := paperexample.Tree()
+	dd, err := DemandDriven(tr, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := EventDriven(tr, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Ratio < 1.0 || ev.Ratio < 1.0 {
+		t.Fatalf("ratios below 1: dd %.4f ev %.4f", dd.Ratio, ev.Ratio)
+	}
+	if dd.N != 200 || ev.N != 200 {
+		t.Fatal("batch size mismatch")
+	}
+}
+
+func TestAcrossGenerators(t *testing.T) {
+	for _, k := range []treegen.Kind{treegen.ComputeLimited, treegen.WideStar} {
+		for seed := int64(0); seed < 3; seed++ {
+			tr := treegen.Generate(k, 8, seed)
+			res, err := EventDriven(tr, 60)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", k, seed, err)
+			}
+			if res.Ratio < 1.0 {
+				t.Fatalf("%v/%d: ratio %.4f < 1", k, seed, res.Ratio)
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tr := tree.NewBuilder().Root("P0", rat.One).MustBuild()
+	if _, err := Bound(tr, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	switchOnly := tree.NewBuilder().RootSwitch("s").MustBuild()
+	if _, err := Bound(switchOnly, 5); err == nil {
+		t.Fatal("zero-throughput platform accepted")
+	}
+	if _, err := EventDriven(switchOnly, 5); err == nil {
+		t.Fatal("EventDriven on dead platform accepted")
+	}
+}
+
+func TestEventDrivenPatternTooLarge(t *testing.T) {
+	// A platform with prime-heavy rates can exceed the default pattern
+	// cap only at absurd sizes; instead exercise the error path via a
+	// zero-throughput platform in EventDriven (bound check) and the
+	// completed-task mismatch guard indirectly through Bound.
+	if _, err := Bound(tree.NewBuilder().RootSwitch("s").MustBuild(), 3); err == nil {
+		t.Fatal("zero-throughput bound accepted")
+	}
+}
+
+func TestDemandDrivenErrors(t *testing.T) {
+	switchOnly := tree.NewBuilder().RootSwitch("s").MustBuild()
+	if _, err := DemandDriven(switchOnly, 5); err == nil {
+		t.Fatal("dead platform accepted by DemandDriven")
+	}
+	tr := tree.NewBuilder().Root("m", rat.One).MustBuild()
+	if _, err := DemandDriven(tr, 0); err == nil {
+		t.Fatal("n=0 accepted by DemandDriven")
+	}
+}
+
+func TestRatioFields(t *testing.T) {
+	tr := tree.NewBuilder().Root("m", rat.Two).MustBuild()
+	res, err := EventDriven(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 4 {
+		t.Fatalf("N = %d", res.N)
+	}
+	if !res.Overhead.Equal(res.Makespan.Sub(res.LowerBound)) {
+		t.Fatal("overhead inconsistent")
+	}
+	if res.Ratio <= 0 {
+		t.Fatalf("ratio %f", res.Ratio)
+	}
+}

@@ -1,0 +1,63 @@
+package paperexample
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/gantt"
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// render produces the canonical textual artifacts of the Section 8
+// reproduction: the transaction transcript (Fig. 4b), the local schedules
+// (Fig. 4d), and an ASCII Gantt excerpt (Fig. 5).
+func render(t *testing.T) string {
+	t.Helper()
+	tr := Tree()
+	res := bwfirst.Solve(tr)
+	s, err := sched.Build(res, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Simulate(s, sim.Options{Stop: StopAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("== transactions (Fig. 4b) ==\n")
+	b.WriteString(res.TranscriptString())
+	b.WriteString("\n== local schedules (Fig. 4d) ==\n")
+	b.WriteString(s.String())
+	fmt.Fprintf(&b, "\n== run summary ==\nthroughput %s, T=%s, rootless %s/%s, wind-down %s, max held %d\n",
+		res.Throughput, s.TreePeriod(), s.RootlessRate(), s.RootlessPeriod(),
+		run.Stats.WindDown, run.Stats.MaxHeld)
+	b.WriteString("\n== gantt t in [0,40) (Fig. 5 excerpt) ==\n")
+	b.WriteString(gantt.ASCII(run.Trace, rat.Zero, rat.FromInt(40), rat.One))
+	return b.String()
+}
+
+func TestGolden(t *testing.T) {
+	got := render(t)
+	path := filepath.Join("testdata", "section8.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,225 @@
+// Package proto implements BW-First as a genuinely distributed protocol:
+// one goroutine per platform node, where parents and children exchange only
+// the single numbers the paper prescribes — a proposal β down, an
+// acknowledgment θ up — over channels standing in for network links.
+//
+// This realizes the paper's "lightweight communication procedure": no node
+// accesses global information; each decides from its own w, the c of its
+// child links, and the numbers it receives (the semi-autonomous protocol of
+// Section 5). The run is depth-first and therefore sequential in time, but
+// the package demonstrates — and its tests verify — that the procedure
+// needs nothing beyond local state plus point-to-point messages, and it
+// counts the messages for the protocol-cost experiment (E9): exactly two
+// per transaction.
+//
+// A Session keeps the node goroutines alive between negotiations, modeling
+// the paper's dynamic-adaptation proposal: when the root observes a
+// throughput drop it re-initiates the procedure against the re-measured
+// platform (same topology, new weights) without restarting anything —
+// Renegotiate costs only the same handful of scalar messages.
+package proto
+
+import (
+	"fmt"
+	"sync"
+
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// Result reports one negotiation round's outcome.
+type Result struct {
+	Tree       *tree.Tree
+	TMax       rat.R
+	Throughput rat.R
+	// Alpha[id] is node id's computing rate; SendRates[id][j] the rate to
+	// its j-th child (insertion order), mirroring bwfirst.NodeState.
+	Alpha     []rat.R
+	SendRates [][]rat.R
+	Visited   []bool
+	// Messages is the total number of protocol messages exchanged
+	// (proposals + acknowledgments, including the virtual parent's pair).
+	Messages int
+	// VisitedCount is the number of nodes that took part.
+	VisitedCount int
+}
+
+// nodeActor is one platform node's goroutine state. All fields other than
+// the channels are owned by the session and read by the actor only while
+// it holds a proposal, which orders the accesses (the proposal chain
+// carries the happens-before edges).
+type nodeActor struct {
+	id       tree.NodeID
+	s        *Session
+	proposal chan rat.R // from parent
+	ack      chan rat.R // to parent
+}
+
+// Session holds a living set of node goroutines for one platform
+// topology. Negotiation rounds run sequentially; the Session is not safe
+// for concurrent use.
+type Session struct {
+	t      *tree.Tree
+	actors []*nodeActor
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+	// res is the round currently being filled in. Actors access their own
+	// indices only, between receiving a proposal and sending the ack.
+	res *Result
+}
+
+// NewSession spawns one goroutine per node of t. Close must be called to
+// release them.
+func NewSession(t *tree.Tree) *Session {
+	s := &Session{t: t, quit: make(chan struct{})}
+	s.actors = make([]*nodeActor, t.Len())
+	for id := 0; id < t.Len(); id++ {
+		s.actors[id] = &nodeActor{
+			id:       tree.NodeID(id),
+			s:        s,
+			proposal: make(chan rat.R),
+			ack:      make(chan rat.R),
+		}
+	}
+	for _, a := range s.actors {
+		s.wg.Add(1)
+		go func(a *nodeActor) {
+			defer s.wg.Done()
+			a.run(s.quit)
+		}(a)
+	}
+	return s
+}
+
+// Close shuts the node goroutines down. It is idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// Run performs one negotiation round against the session's current
+// platform weights and returns the per-node results.
+func (s *Session) Run() *Result {
+	if s.closed {
+		panic("proto: Run on a closed session")
+	}
+	t := s.t
+	res := &Result{
+		Tree:      t,
+		Alpha:     make([]rat.R, t.Len()),
+		SendRates: make([][]rat.R, t.Len()),
+		Visited:   make([]bool, t.Len()),
+	}
+	if t.Len() == 0 {
+		return res
+	}
+	s.res = res
+	root := s.actors[t.Root()]
+	res.TMax = t.Rate(t.Root()).Add(t.MaxChildBandwidth(t.Root()))
+	root.proposal <- res.TMax // the virtual parent's proposal
+	theta := <-root.ack
+	res.Throughput = res.TMax.Sub(theta)
+	res.Messages += 2 // the virtual parent's pair
+	for id := range res.Visited {
+		if res.Visited[id] {
+			res.VisitedCount++
+		}
+	}
+	return res
+}
+
+// Renegotiate swaps in a re-measured platform (same topology: identical
+// names and parent structure; weights may differ) and runs a new round —
+// the root's reaction to a throughput drop in Section 5.
+func (s *Session) Renegotiate(t *tree.Tree) (*Result, error) {
+	if err := sameTopology(s.t, t); err != nil {
+		return nil, err
+	}
+	s.t = t
+	return s.Run(), nil
+}
+
+func sameTopology(a, b *tree.Tree) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("proto: topology changed: %d vs %d nodes", a.Len(), b.Len())
+	}
+	for id := 0; id < a.Len(); id++ {
+		n := tree.NodeID(id)
+		if a.Name(n) != b.Name(n) {
+			return fmt.Errorf("proto: node %d renamed %q -> %q", id, a.Name(n), b.Name(n))
+		}
+		if a.Parent(n) != b.Parent(n) {
+			return fmt.Errorf("proto: node %q re-parented", a.Name(n))
+		}
+	}
+	return nil
+}
+
+// Solve runs a single negotiation on t (convenience wrapper that creates
+// and closes a Session).
+func Solve(t *tree.Tree) *Result {
+	s := NewSession(t)
+	defer s.Close()
+	return s.Run()
+}
+
+// run is the node's lifetime: serve one proposal per round until shutdown.
+func (a *nodeActor) run(quit <-chan struct{}) {
+	for {
+		select {
+		case beta := <-a.proposal:
+			a.ack <- a.handle(beta)
+		case <-quit:
+			return
+		}
+	}
+}
+
+// handle is Algorithm 1 with channel sends in place of the paper's
+// message-passing notation. Every arithmetic input is local: the node's
+// own rate, its child link times, and the received numbers.
+func (a *nodeActor) handle(lambda rat.R) rat.R {
+	t := a.s.t
+	res := a.s.res
+	res.Visited[a.id] = true
+	alpha := rat.Min(t.Rate(a.id), lambda)
+	res.Alpha[a.id] = alpha
+	delta := lambda.Sub(alpha)
+	tau := rat.One
+
+	children := t.Children(a.id)
+	sends := make([]rat.R, len(children))
+	pos := make(map[tree.NodeID]int, len(children))
+	for j, c := range children {
+		pos[c] = j
+	}
+	// The bandwidth-centric order is re-derived from the current link
+	// measurements each round (they may have changed).
+	for _, cid := range t.ChildrenByComm(a.id) {
+		if delta.IsZero() || tau.IsZero() {
+			break
+		}
+		child := a.s.actors[cid]
+		c := t.CommTime(cid)
+		beta := rat.Min(delta, tau.Mul(c.Inv()))
+		// Count the proposal before sending and the acknowledgment after
+		// receiving: the channel operations then order every access to
+		// the shared counter (between the send and the ack-receive the
+		// child's subtree owns it).
+		res.Messages++
+		child.proposal <- beta // phase one: proposal
+		theta := <-child.ack   // phase two: acknowledgment
+		res.Messages++
+		accepted := beta.Sub(theta)
+		sends[pos[cid]] = accepted
+		delta = delta.Sub(accepted)
+		tau = tau.Sub(accepted.Mul(c))
+	}
+	res.SendRates[a.id] = sends
+	return delta
+}

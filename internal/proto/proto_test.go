@@ -1,0 +1,206 @@
+package proto
+
+import (
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+	"bwc/internal/treegen"
+)
+
+func TestSingleNode(t *testing.T) {
+	tr := tree.NewBuilder().Root("P0", rat.Two).MustBuild()
+	res := Solve(tr)
+	if !res.Throughput.Equal(rat.New(1, 2)) {
+		t.Fatalf("throughput = %s", res.Throughput)
+	}
+	if res.Messages != 2 {
+		t.Fatalf("messages = %d, want 2 (virtual parent pair)", res.Messages)
+	}
+	if res.VisitedCount != 1 {
+		t.Fatalf("visited = %d", res.VisitedCount)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	res := Solve(&tree.Tree{})
+	if !res.Throughput.IsZero() || res.Messages != 0 {
+		t.Fatalf("empty: %+v", res)
+	}
+}
+
+// TestAgreesWithSequential is the central property: the distributed run
+// computes exactly the same throughput, per-node rates, visit set and
+// (therefore) schedules as the sequential reference, across all generator
+// families.
+func TestAgreesWithSequential(t *testing.T) {
+	for _, k := range treegen.Kinds {
+		for seed := int64(0); seed < 15; seed++ {
+			for _, n := range []int{1, 2, 7, 23, 60} {
+				tr := treegen.Generate(k, n, seed)
+				want := bwfirst.Solve(tr)
+				got := Solve(tr)
+				if !got.Throughput.Equal(want.Throughput) {
+					t.Fatalf("%v/%d/%d: throughput %s != %s", k, seed, n, got.Throughput, want.Throughput)
+				}
+				if !got.TMax.Equal(want.TMax) {
+					t.Fatalf("%v/%d/%d: tmax", k, seed, n)
+				}
+				if got.VisitedCount != want.VisitedCount {
+					t.Fatalf("%v/%d/%d: visited %d != %d", k, seed, n, got.VisitedCount, want.VisitedCount)
+				}
+				for id := 0; id < tr.Len(); id++ {
+					nid := tree.NodeID(id)
+					if got.Visited[id] != want.Nodes[id].Visited {
+						t.Fatalf("%v/%d/%d: node %s visit mismatch", k, seed, n, tr.Name(nid))
+					}
+					if !got.Alpha[id].Equal(want.Nodes[id].Alpha) {
+						t.Fatalf("%v/%d/%d: node %s α %s != %s", k, seed, n, tr.Name(nid), got.Alpha[id], want.Nodes[id].Alpha)
+					}
+					if got.Visited[id] {
+						for j := range want.Nodes[id].SendRates {
+							if !got.SendRates[id][j].Equal(want.Nodes[id].SendRates[j]) {
+								t.Fatalf("%v/%d/%d: node %s send rate %d mismatch", k, seed, n, tr.Name(nid), j)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMessageCount: exactly two messages per closed transaction — the
+// protocol cost the paper argues is negligible against task communication.
+func TestMessageCount(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := treegen.Generate(treegen.Uniform, 40, seed)
+		want := bwfirst.Solve(tr)
+		got := Solve(tr)
+		if got.Messages != 2*len(want.Transactions)+2 {
+			t.Fatalf("seed %d: messages = %d, want 2·%d+2", seed, got.Messages, len(want.Transactions))
+		}
+	}
+}
+
+// TestBandwidthLimitedSkipsActors: goroutines of pruned subtrees must shut
+// down cleanly without ever being visited (no leaks, no deadlock — the
+// test would hang otherwise).
+func TestBandwidthLimitedSkipsActors(t *testing.T) {
+	skipped := false
+	for seed := int64(0); seed < 20; seed++ {
+		tr := treegen.Generate(treegen.BandwidthLimited, 50, seed)
+		res := Solve(tr)
+		if res.VisitedCount < tr.Len() {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Fatal("no platform exercised the unvisited-actor shutdown path")
+	}
+}
+
+func BenchmarkDistributedSolve100(b *testing.B) {
+	tr := treegen.Generate(treegen.Uniform, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Solve(tr)
+	}
+}
+
+func BenchmarkSequentialSolve100(b *testing.B) {
+	tr := treegen.Generate(treegen.Uniform, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bwfirst.Solve(tr)
+	}
+}
+
+func TestSessionMultipleRounds(t *testing.T) {
+	tr := treegen.Generate(treegen.Uniform, 20, 9)
+	want := bwfirst.Solve(tr).Throughput
+	s := NewSession(tr)
+	defer s.Close()
+	for round := 0; round < 5; round++ {
+		res := s.Run()
+		if !res.Throughput.Equal(want) {
+			t.Fatalf("round %d: throughput %s != %s", round, res.Throughput, want)
+		}
+	}
+}
+
+func TestSessionRenegotiate(t *testing.T) {
+	tr := tree.NewBuilder().
+		Root("P0", rat.Two).
+		Child("P0", "P1", rat.One, rat.FromInt(3)).
+		Child("P0", "P2", rat.FromInt(3), rat.Two).
+		MustBuild()
+	s := NewSession(tr)
+	defer s.Close()
+	first := s.Run()
+	if !first.Throughput.Equal(rat.New(19, 18)) {
+		t.Fatalf("first round: %s", first.Throughput)
+	}
+	// The link to P1 degrades; the root re-initiates against the
+	// re-measured platform without restarting any node process.
+	degraded, err := tr.WithCommTime(tr.MustLookup("P1"), rat.FromInt(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Renegotiate(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bwfirst.Solve(degraded).Throughput
+	if !second.Throughput.Equal(want) {
+		t.Fatalf("renegotiated throughput %s != %s", second.Throughput, want)
+	}
+	if second.Throughput.Equal(first.Throughput) {
+		t.Fatal("degradation did not change the throughput (weak test platform)")
+	}
+	// A third round on the same session still works.
+	third := s.Run()
+	if !third.Throughput.Equal(want) {
+		t.Fatalf("third round: %s", third.Throughput)
+	}
+}
+
+func TestSessionTopologyGuard(t *testing.T) {
+	tr := tree.NewBuilder().Root("a", rat.One).Child("a", "b", rat.One, rat.One).MustBuild()
+	s := NewSession(tr)
+	defer s.Close()
+	bigger := tree.NewBuilder().
+		Root("a", rat.One).
+		Child("a", "b", rat.One, rat.One).
+		Child("a", "c", rat.One, rat.One).
+		MustBuild()
+	if _, err := s.Renegotiate(bigger); err == nil {
+		t.Fatal("node-count change accepted")
+	}
+	renamed := tree.NewBuilder().Root("a", rat.One).Child("a", "zz", rat.One, rat.One).MustBuild()
+	if _, err := s.Renegotiate(renamed); err == nil {
+		t.Fatal("rename accepted")
+	}
+}
+
+func TestSessionCloseIdempotentAndRunPanics(t *testing.T) {
+	tr := tree.NewBuilder().Root("a", rat.One).MustBuild()
+	s := NewSession(tr)
+	s.Close()
+	s.Close() // must not panic or deadlock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run on closed session did not panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestSessionEmptyTree(t *testing.T) {
+	s := NewSession(&tree.Tree{})
+	defer s.Close()
+	if res := s.Run(); !res.Throughput.IsZero() {
+		t.Fatalf("empty: %+v", res)
+	}
+}

@@ -1,0 +1,25 @@
+package rat_test
+
+import (
+	"fmt"
+
+	"bwc/internal/rat"
+)
+
+func ExampleR() {
+	throughput := rat.New(10, 9) // 10 tasks every 9 time units
+	period := rat.FromInt(360)
+	fmt.Println("per period:", throughput.Mul(period))
+	fmt.Println("as float:", throughput.Float64())
+	// Output:
+	// per period: 400
+	// as float: 1.1111111111111112
+}
+
+func ExampleDenLCM() {
+	// Lemma 1: the sending period is the lcm of the send-rate
+	// denominators.
+	l := rat.DenLCM(rat.New(1, 8), rat.New(1, 4), rat.New(3, 20))
+	fmt.Println(l)
+	// Output: 40
+}

@@ -1,0 +1,31 @@
+package rat
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the rational parser never panics and that accepted
+// values round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add("3/4")
+	f.Add("-10/9")
+	f.Add("0.125")
+	f.Add("")
+	f.Add("1/0")
+	f.Add("9223372036854775807/2")
+	f.Add("-9223372036854775808")
+	f.Add("1e10")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("String %q of parsed %q does not re-parse: %v", v.String(), s, err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("round trip changed value: %q -> %s -> %s", s, v, back)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package resultflow models the extension discussed in Section 9 of the
+// paper: returning the results of the computations back to the master.
+//
+// The paper shows that the simplification used by Beaumont et al. [5] and
+// Kreaseck et al. [12] — folding the result-return time into the task
+// communication time c — is erroneous: it correctly accounts for link
+// traffic but ignores the *receive-port* resource of the parent. With
+// separate flows, a node's receive port carries incoming tasks AND its
+// children's returning results, while its send port carries outgoing tasks
+// AND its own subtree's results heading up.
+//
+// Because flows on a tree are subtree sums of the compute rates, the
+// steady-state problem stays a linear program in the α variables:
+//
+//	maximize Σ α_i subject to, for every node i (S_i = Σ_{subtree(i)} α_j):
+//	  α_i ≤ r_i
+//	  send port:    Σ_{c ∈ children(i)} c_c·S_c + d_i·S_i ≤ 1
+//	  receive port: c_i·S_i + Σ_{c ∈ children(i)} d_c·S_c ≤ 1
+//
+// where c_i is the task time on i's parent link and d_i the result time
+// (both zero for the root, which has no parent link).
+//
+// Experiment E10 reproduces the paper's 3-node counter-example: with
+// c = d = 1/2 and unit-speed children the true optimum is 2 tasks per time
+// unit, while the folded model (c' = c + d = 1) yields only 1.
+package resultflow
+
+import (
+	"fmt"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/lp"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// Platform is a tree platform whose links also carry results upward.
+type Platform struct {
+	T *tree.Tree
+	// Result[id] is the time to return one task's result over id's parent
+	// link (ignored for the root). A zero value models SETI-like
+	// applications whose results are negligible.
+	Result []rat.R
+}
+
+// NewPlatform validates and builds a result-return platform.
+func NewPlatform(t *tree.Tree, result []rat.R) (Platform, error) {
+	if len(result) != t.Len() {
+		return Platform{}, fmt.Errorf("resultflow: %d result times for %d nodes", len(result), t.Len())
+	}
+	for id, d := range result {
+		if d.IsNeg() {
+			return Platform{}, fmt.Errorf("resultflow: node %s: negative result time %s", t.Name(tree.NodeID(id)), d)
+		}
+	}
+	return Platform{T: t, Result: result}, nil
+}
+
+// UniformResult builds a platform where every link returns results in d
+// time units.
+func UniformResult(t *tree.Tree, d rat.R) (Platform, error) {
+	rs := make([]rat.R, t.Len())
+	for i := range rs {
+		if tree.NodeID(i) != t.Root() {
+			rs[i] = d
+		}
+	}
+	return NewPlatform(t, rs)
+}
+
+// Formulate builds the separate-flows steady-state LP.
+func (p Platform) Formulate() lp.Problem {
+	t := p.T
+	n := t.Len()
+	prob := lp.Problem{C: make([]rat.R, n)}
+	for i := 0; i < n; i++ {
+		prob.C[i] = rat.One
+	}
+	// Rate bounds.
+	for i := 0; i < n; i++ {
+		row := make([]rat.R, n)
+		row[i] = rat.One
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, t.Rate(tree.NodeID(i)))
+	}
+	addSubtree := func(row []rat.R, root tree.NodeID, coeff rat.R) {
+		if coeff.IsZero() {
+			return
+		}
+		t.Walk(root, func(j tree.NodeID) bool {
+			row[j] = row[j].Add(coeff)
+			return true
+		})
+	}
+	for i := 0; i < n; i++ {
+		id := tree.NodeID(i)
+		children := t.Children(id)
+		isRoot := id == t.Root()
+
+		// Send port: tasks down each child link + own results up.
+		send := make([]rat.R, n)
+		for _, c := range children {
+			addSubtree(send, c, t.CommTime(c))
+		}
+		if !isRoot {
+			addSubtree(send, id, p.Result[id])
+		}
+		if !allZero(send) {
+			prob.A = append(prob.A, send)
+			prob.B = append(prob.B, rat.One)
+		}
+
+		// Receive port: tasks in from the parent + results up from
+		// children.
+		recv := make([]rat.R, n)
+		if !isRoot {
+			addSubtree(recv, id, t.CommTime(id))
+		}
+		for _, c := range children {
+			addSubtree(recv, c, p.Result[c])
+		}
+		if !allZero(recv) {
+			prob.A = append(prob.A, recv)
+			prob.B = append(prob.B, rat.One)
+		}
+	}
+	return prob
+}
+
+func allZero(row []rat.R) bool {
+	for _, v := range row {
+		if !v.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// OptimalThroughput solves the separate-flows LP exactly.
+func (p Platform) OptimalThroughput() (rat.R, []rat.R, error) {
+	if p.T.Len() == 0 {
+		return rat.Zero, nil, nil
+	}
+	sol, err := lp.Maximize(p.Formulate())
+	if err != nil {
+		return rat.Zero, nil, err
+	}
+	return sol.Objective, sol.X, nil
+}
+
+// FoldedThroughput computes the throughput the folded model predicts:
+// replace every link's task time by c + d and run the base bandwidth-
+// centric machinery (this is what [5] and [12] propose). The paper's point
+// is that this misestimates the true optimum.
+func (p Platform) FoldedThroughput() (rat.R, error) {
+	t := p.T
+	if t.Len() == 0 {
+		return rat.Zero, nil
+	}
+	folded := t
+	for i := 0; i < t.Len(); i++ {
+		id := tree.NodeID(i)
+		if id == t.Root() || p.Result[i].IsZero() {
+			continue
+		}
+		var err error
+		folded, err = folded.WithCommTime(id, t.CommTime(id).Add(p.Result[i]))
+		if err != nil {
+			return rat.Zero, err
+		}
+	}
+	return bwfirst.Solve(folded).Throughput, nil
+}

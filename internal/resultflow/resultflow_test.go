@@ -1,0 +1,163 @@
+package resultflow
+
+import (
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+	"bwc/internal/treegen"
+)
+
+// paperCounterExample is the Section 9 platform: a master with no
+// computing power and two children at w=1, c=1/2 task time, 1/2 result
+// time.
+func paperCounterExample(t *testing.T) Platform {
+	t.Helper()
+	tr := tree.NewBuilder().
+		RootSwitch("master").
+		Child("master", "w1", rat.New(1, 2), rat.One).
+		Child("master", "w2", rat.New(1, 2), rat.One).
+		MustBuild()
+	p, err := UniformResult(tr, rat.New(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPaperCounterExample(t *testing.T) {
+	p := paperCounterExample(t)
+	// True optimum: 2 tasks per time unit.
+	opt, x, err := p.OptimalThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Equal(rat.Two) {
+		t.Fatalf("separate-flows optimum = %s, want 2", opt)
+	}
+	if !x[1].Equal(rat.One) || !x[2].Equal(rat.One) {
+		t.Fatalf("witness = %v", x)
+	}
+	// Folded model: c' = 1 per child → 1 task per time unit.
+	folded, err := p.FoldedThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !folded.Equal(rat.One) {
+		t.Fatalf("folded model = %s, want 1", folded)
+	}
+}
+
+func TestZeroResultReducesToBaseModel(t *testing.T) {
+	for _, k := range treegen.Kinds {
+		for seed := int64(0); seed < 5; seed++ {
+			tr := treegen.Generate(k, 12, seed)
+			p, err := UniformResult(tr, rat.Zero)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, _, err := p.OptimalThroughput()
+			if err != nil {
+				t.Fatalf("%v/%d: %v", k, seed, err)
+			}
+			want := bwfirst.Solve(tr).Throughput
+			if !opt.Equal(want) {
+				t.Fatalf("%v/%d: d=0 optimum %s != base %s", k, seed, opt, want)
+			}
+			folded, err := p.FoldedThroughput()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !folded.Equal(want) {
+				t.Fatalf("%v/%d: folded %s != base %s", k, seed, folded, want)
+			}
+		}
+	}
+}
+
+func TestResultsOnlyReduceThroughput(t *testing.T) {
+	// Larger results can never increase the separate-flows optimum.
+	tr := treegen.Generate(treegen.Uniform, 12, 7)
+	prev := rat.FromInt(1 << 30)
+	for _, d := range []rat.R{rat.Zero, rat.New(1, 4), rat.New(1, 2), rat.One, rat.Two} {
+		p, err := UniformResult(tr, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, err := p.OptimalThroughput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev.Less(opt) {
+			t.Fatalf("throughput increased from %s to %s at d=%s", prev, opt, d)
+		}
+		prev = opt
+	}
+}
+
+func TestFoldedNeverAboveTrueWhenSymmetric(t *testing.T) {
+	// On the paper's example family (uniform d), folding misallocates
+	// the port budget; sweep the result/input ratio and confirm the
+	// separate-flows optimum dominates.
+	tr := tree.NewBuilder().
+		RootSwitch("m").
+		Child("m", "w1", rat.New(1, 2), rat.One).
+		Child("m", "w2", rat.New(1, 2), rat.One).
+		Child("m", "w3", rat.One, rat.Two).
+		MustBuild()
+	for _, d := range []rat.R{rat.New(1, 8), rat.New(1, 4), rat.New(1, 2), rat.One} {
+		p, err := UniformResult(tr, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, err := p.OptimalThroughput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		folded, err := p.FoldedThroughput()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Less(folded) {
+			t.Fatalf("d=%s: folded %s exceeds true optimum %s", d, folded, opt)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tr := tree.NewBuilder().Root("P0", rat.One).MustBuild()
+	if _, err := NewPlatform(tr, nil); err == nil {
+		t.Fatal("wrong-length result slice accepted")
+	}
+	if _, err := NewPlatform(tr, []rat.R{rat.FromInt(-1)}); err == nil {
+		t.Fatal("negative result time accepted")
+	}
+}
+
+func TestEmptyPlatform(t *testing.T) {
+	p := Platform{T: &tree.Tree{}}
+	opt, _, err := p.OptimalThroughput()
+	if err != nil || !opt.IsZero() {
+		t.Fatalf("%s %v", opt, err)
+	}
+	f, err := p.FoldedThroughput()
+	if err != nil || !f.IsZero() {
+		t.Fatalf("%s %v", f, err)
+	}
+}
+
+func TestSingleNodeUnaffectedByResults(t *testing.T) {
+	tr := tree.NewBuilder().Root("P0", rat.Two).MustBuild()
+	p, err := UniformResult(tr, rat.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := p.OptimalThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Equal(rat.New(1, 2)) {
+		t.Fatalf("optimum = %s", opt)
+	}
+}

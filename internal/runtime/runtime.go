@@ -1,0 +1,245 @@
+// Package runtime executes a reconstructed schedule as a real concurrent
+// Master-Worker application: one set of goroutines per platform node,
+// channels as links, wall-clock sleeps standing in for communication and
+// computation times. It is the "practical and scalable implementation" the
+// paper aims for, in library form — the discrete-event simulator
+// (internal/sim) predicts a run, this package performs one.
+//
+// Per node, three goroutines mirror the single-port full-overlap model:
+//
+//   - a router receives tasks from the parent (the single receive port is
+//     the inbox channel itself) and assigns each to a destination through
+//     the node's interleaved pattern — the event-driven schedule, no clock;
+//   - a computer processes local tasks one at a time (w·Scale per task) and
+//     invokes the user's Work function;
+//   - a sender serializes outgoing transfers (the single send port),
+//     sleeping c·Scale per task before handing it to the child's inbox.
+//
+// Only the master is clocked: it releases task k of period p at wall time
+// (p + pos_k)·T^w·Scale, keeping the platform in steady state from the
+// start (Section 7).
+//
+// Because routing is deterministic (pattern cursors), the per-node
+// execution counts of a batch are exactly reproducible even though wall
+// -clock interleavings are not.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/tree"
+)
+
+// Config describes an execution.
+type Config struct {
+	// Schedule is the deployed event-driven schedule (patterns must be
+	// materialized).
+	Schedule *sched.Schedule
+	// Tasks is the batch size (> 0).
+	Tasks int
+	// Scale converts one virtual time unit to wall-clock duration. Keep
+	// it small in tests (e.g. 50µs) and realistic in deployments.
+	Scale time.Duration
+	// Work, if non-nil, runs on the executing node's computer goroutine
+	// for every task (after the simulated computation time).
+	Work func(node tree.NodeID, task int)
+}
+
+// Report summarizes an execution.
+type Report struct {
+	// Executed[id] counts tasks computed by node id.
+	Executed []int
+	// Total is the number of tasks executed (== Config.Tasks on success).
+	Total int
+	// Elapsed is the wall-clock makespan of the batch.
+	Elapsed time.Duration
+}
+
+// task travels through the platform.
+type task struct {
+	id int
+}
+
+// outgoing pairs a task with the child (insertion-order index) it is
+// destined for.
+type outgoing struct {
+	t     task
+	child int
+}
+
+type nodeRuntime struct {
+	id      tree.NodeID
+	pattern []sched.Slot
+	inbox   chan task
+	compute chan task
+	sendQ   chan outgoing
+}
+
+// Execute runs a batch of cfg.Tasks tasks to completion and reports the
+// per-node execution counts and the wall-clock makespan.
+func Execute(cfg Config) (*Report, error) {
+	s := cfg.Schedule
+	if s == nil || s.Tree.Len() == 0 {
+		return nil, fmt.Errorf("runtime: no schedule")
+	}
+	if cfg.Tasks <= 0 {
+		return nil, fmt.Errorf("runtime: Tasks must be positive")
+	}
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("runtime: Scale must be positive")
+	}
+	t := s.Tree
+	root := t.Root()
+	rootSched := &s.Nodes[root]
+	if !rootSched.Active || len(rootSched.Pattern) == 0 {
+		return nil, fmt.Errorf("runtime: root is inactive; nothing to execute")
+	}
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		if ns.Active && ns.Pattern == nil {
+			return nil, fmt.Errorf("runtime: node %s pattern too large to materialize", t.Name(ns.Node))
+		}
+	}
+
+	// Channel capacities: χ bounds the steady-state buffering per node
+	// (Proposition 3); headroom keeps transient bursts off the critical
+	// path without hiding backpressure entirely.
+	capFor := func(id tree.NodeID) int {
+		chi := s.Chi(id)
+		c := 16
+		if chi.IsInt64() && chi.Int64() < 1<<16 {
+			c += int(chi.Int64()) * 4
+		}
+		return c
+	}
+
+	nodes := make([]*nodeRuntime, t.Len())
+	for i := range nodes {
+		id := tree.NodeID(i)
+		nodes[i] = &nodeRuntime{
+			id:      id,
+			pattern: s.Nodes[i].Pattern,
+			inbox:   make(chan task, capFor(id)),
+			compute: make(chan task, capFor(id)),
+			sendQ:   make(chan outgoing, capFor(id)),
+		}
+	}
+
+	executed := make([]int, t.Len())
+	var executedMu sync.Mutex
+	var done sync.WaitGroup
+	done.Add(cfg.Tasks)
+
+	var workers sync.WaitGroup
+	scaleOf := func(v rat.R) time.Duration {
+		return time.Duration(v.Float64() * float64(cfg.Scale))
+	}
+
+	// Per-node goroutines.
+	for _, n := range nodes {
+		n := n
+		// Router: event-driven assignment via the pattern.
+		if n.id != root {
+			workers.Add(1)
+			go func() {
+				defer workers.Done()
+				cursor := 0
+				for tk := range n.inbox {
+					if len(n.pattern) == 0 {
+						panic(fmt.Sprintf("runtime: node %s received a task but expects none", t.Name(n.id)))
+					}
+					slot := n.pattern[cursor]
+					cursor = (cursor + 1) % len(n.pattern)
+					if slot.Dest == sched.Self {
+						n.compute <- tk
+					} else {
+						n.sendQ <- outgoing{t: tk, child: int(slot.Dest)}
+					}
+				}
+				close(n.compute)
+				close(n.sendQ)
+			}()
+		}
+		// Computer: the node's CPU.
+		if !t.IsSwitch(n.id) {
+			workers.Add(1)
+			go func() {
+				defer workers.Done()
+				w, _ := t.ProcTime(n.id)
+				d := scaleOf(w)
+				for tk := range n.compute {
+					time.Sleep(d)
+					if cfg.Work != nil {
+						cfg.Work(n.id, tk.id)
+					}
+					executedMu.Lock()
+					executed[n.id]++
+					executedMu.Unlock()
+					done.Done()
+				}
+			}()
+		}
+		// Sender: the single send port.
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			children := t.Children(n.id)
+			for out := range n.sendQ {
+				child := children[out.child]
+				time.Sleep(scaleOf(t.CommTime(child)))
+				nodes[child].inbox <- out.t
+			}
+			// Drain complete: cascade shutdown to children.
+			for _, c := range children {
+				close(nodes[c].inbox)
+			}
+		}()
+	}
+
+	// The master: paced release of the batch.
+	start := time.Now()
+	go func() {
+		tw := rootSched.TW
+		released := 0
+		for p := 0; released < cfg.Tasks; p++ {
+			for _, slot := range rootSched.Pattern {
+				if released >= cfg.Tasks {
+					break
+				}
+				at := rat.FromInt(int64(p)).Add(slot.Pos).Mul(tw)
+				if wait := scaleOf(at) - time.Since(start); wait > 0 {
+					time.Sleep(wait)
+				}
+				tk := task{id: released}
+				released++
+				if slot.Dest == sched.Self {
+					nodes[root].compute <- tk
+				} else {
+					nodes[root].sendQ <- outgoing{t: tk, child: int(slot.Dest)}
+				}
+			}
+		}
+		// All tasks are in flight; wait for completion, then shut the
+		// pipeline down from the top.
+		done.Wait()
+		close(nodes[root].compute)
+		close(nodes[root].sendQ)
+	}()
+
+	done.Wait()
+	elapsed := time.Since(start)
+	workers.Wait()
+
+	rep := &Report{Executed: executed, Elapsed: elapsed}
+	for _, n := range executed {
+		rep.Total += n
+	}
+	if rep.Total != cfg.Tasks {
+		return rep, fmt.Errorf("runtime: executed %d of %d tasks", rep.Total, cfg.Tasks)
+	}
+	return rep, nil
+}

@@ -1,0 +1,171 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/paperexample"
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/sim"
+	"bwc/internal/tree"
+)
+
+func schedule(t *testing.T, tr *tree.Tree) *sched.Schedule {
+	t.Helper()
+	s, err := sched.Build(bwfirst.Solve(tr), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExecuteMatchesSimulatorCounts(t *testing.T) {
+	tr := paperexample.Tree()
+	s := schedule(t, tr)
+	const n = 60
+
+	// Predicted per-node counts from the deterministic simulator.
+	simRun, err := sim.Simulate(s, sim.Options{Tasks: n, SkipIntervals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, tr.Len())
+	for _, c := range simRun.Trace.Completions {
+		want[c.Node]++
+	}
+
+	rep, err := Execute(Config{Schedule: s, Tasks: n, Scale: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != n {
+		t.Fatalf("executed %d of %d", rep.Total, n)
+	}
+	for id := range want {
+		if rep.Executed[id] != want[id] {
+			t.Fatalf("node %s executed %d, simulator predicts %d",
+				tr.Name(tree.NodeID(id)), rep.Executed[id], want[id])
+		}
+	}
+}
+
+func TestExecuteElapsedSanity(t *testing.T) {
+	tr := paperexample.Tree()
+	s := schedule(t, tr)
+	const n = 40
+	// A coarse scale keeps per-sleep OS overhead (~0.1ms) small relative
+	// to the modeled durations.
+	scale := time.Millisecond
+	rep, err := Execute(Config{Schedule: s, Tasks: n, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower bound: the root cannot finish before releasing the batch at
+	// the steady rate: N/ρ* virtual units (minus one period of slack for
+	// scheduling jitter).
+	lb := rat.FromInt(n).Div(rat.New(10, 9)).Sub(rat.FromInt(18))
+	if min := time.Duration(lb.Float64() * float64(scale)); rep.Elapsed < min {
+		t.Fatalf("elapsed %v implausibly fast (< %v)", rep.Elapsed, min)
+	}
+	// Upper bound: generous 10x over the simulated makespan to absorb
+	// scheduler noise on busy machines.
+	msRun, err := sim.Simulate(s, sim.Options{Tasks: n, SkipIntervals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := time.Duration(msRun.Stats.Makespan.Float64()*float64(scale))*4 + 100*time.Millisecond
+	if rep.Elapsed > max {
+		t.Fatalf("elapsed %v exceeds the loose bound %v (predicted %s units)", rep.Elapsed, max, msRun.Stats.Makespan)
+	}
+}
+
+func TestWorkCallback(t *testing.T) {
+	tr := tree.NewBuilder().
+		Root("m", rat.Two).
+		Child("m", "w", rat.One, rat.One).
+		MustBuild()
+	s := schedule(t, tr)
+	var mu sync.Mutex
+	seen := map[int]tree.NodeID{}
+	rep, err := Execute(Config{
+		Schedule: s, Tasks: 12, Scale: 30 * time.Microsecond,
+		Work: func(node tree.NodeID, task int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if prev, dup := seen[task]; dup {
+				t.Errorf("task %d executed twice (%s and %s)", task, tr.Name(prev), tr.Name(node))
+			}
+			seen[task] = node
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 12 || rep.Total != 12 {
+		t.Fatalf("saw %d tasks, report %d", len(seen), rep.Total)
+	}
+}
+
+func TestExecuteThroughSwitches(t *testing.T) {
+	tr := tree.NewBuilder().
+		RootSwitch("hub").
+		SwitchChild("hub", "relay", rat.New(1, 2)).
+		Child("relay", "w", rat.New(1, 2), rat.One).
+		MustBuild()
+	s := schedule(t, tr)
+	rep, err := Execute(Config{Schedule: s, Tasks: 10, Scale: 30 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executed[tr.MustLookup("w")] != 10 {
+		t.Fatalf("worker executed %d", rep.Executed[tr.MustLookup("w")])
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	tr := tree.NewBuilder().Root("m", rat.One).MustBuild()
+	s := schedule(t, tr)
+	if _, err := Execute(Config{Schedule: nil, Tasks: 1, Scale: time.Millisecond}); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+	if _, err := Execute(Config{Schedule: s, Tasks: 0, Scale: time.Millisecond}); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := Execute(Config{Schedule: s, Tasks: 1, Scale: 0}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	dead := schedule(t, tree.NewBuilder().RootSwitch("s").SwitchChild("s", "x", rat.One).MustBuild())
+	if _, err := Execute(Config{Schedule: dead, Tasks: 1, Scale: time.Millisecond}); err == nil {
+		t.Fatal("dead platform accepted")
+	}
+}
+
+func TestExecuteRepeatedDeterministicRouting(t *testing.T) {
+	tr := tree.NewBuilder().
+		Root("m", rat.Two).
+		Child("m", "a", rat.One, rat.Two).
+		Child("m", "b", rat.Two, rat.Two).
+		MustBuild()
+	s := schedule(t, tr)
+	var first []int
+	for trial := 0; trial < 3; trial++ {
+		rep, err := Execute(Config{Schedule: s, Tasks: 30, Scale: 20 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			first = rep.Executed
+			continue
+		}
+		for i := range first {
+			if rep.Executed[i] != first[i] {
+				t.Fatalf("trial %d: counts changed: %v vs %v", trial, rep.Executed, first)
+			}
+		}
+	}
+}

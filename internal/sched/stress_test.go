@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// awkwardTree mirrors the bwfirst stress generator: prime denominators
+// produce huge LCM periods, exercising the MaxPatternLen fallback and the
+// big.Int period arithmetic.
+func awkwardTree(r *rand.Rand, n int) *tree.Tree {
+	dens := []int64{1, 2, 3, 5, 7, 11, 13}
+	randR := func() rat.R {
+		return rat.New(r.Int63n(12)+1, dens[r.Intn(len(dens))])
+	}
+	b := tree.NewBuilder()
+	b.Root("n0", randR())
+	names := []string{"n0"}
+	for i := 1; i < n; i++ {
+		parent := names[r.Intn(len(names))]
+		name := names[len(names)-1] + "x"
+		if r.Intn(5) == 0 {
+			b.SwitchChild(parent, name, randR())
+		} else {
+			b.Child(parent, name, randR(), randR())
+		}
+		names = append(names, name)
+	}
+	return b.MustBuild()
+}
+
+// TestScheduleInvariantsOnAwkwardRationals: every schedule quantity stays
+// integral and conserved even when the periods explode combinatorially;
+// oversized bunches degrade gracefully to nil patterns.
+func TestScheduleInvariantsOnAwkwardRationals(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	sawFallback := false
+	for trial := 0; trial < 50; trial++ {
+		tr := awkwardTree(r, 3+r.Intn(15))
+		res := bwfirst.Solve(tr)
+		s, err := Build(res, Options{MaxPatternLen: 1 << 12})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, tr)
+		}
+		for i := range s.Nodes {
+			ns := &s.Nodes[i]
+			if ns.Active && ns.Pattern == nil {
+				sawFallback = true
+			}
+			// χ must be integral for every node (Chi panics otherwise).
+			_ = s.Chi(ns.Node)
+		}
+	}
+	if !sawFallback {
+		t.Fatal("no trial exercised the oversized-pattern fallback; lower MaxPatternLen")
+	}
+}

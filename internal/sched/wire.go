@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// The deployment wire format carries exactly what each node needs to act
+// autonomously — the paper's compact description made concrete: per active
+// node, the consuming period T^w and the ψ quantities. Every node
+// re-derives its interleaved pattern locally (Section 6.3 is a pure
+// function of ψ), so patterns never travel.
+
+// wireNode is one node's entry in the deployment document.
+type wireNode struct {
+	Name string            `json:"name"`
+	TW   string            `json:"tw"`
+	Psi0 string            `json:"psi0"`
+	Psi  map[string]string `json:"psi,omitempty"` // child name -> ψ
+}
+
+// MarshalDeployment encodes the schedule's active nodes as JSON.
+func (s *Schedule) MarshalDeployment() ([]byte, error) {
+	var nodes []wireNode
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		if !ns.Active {
+			continue
+		}
+		w := wireNode{
+			Name: s.Tree.Name(ns.Node),
+			TW:   ns.TW.String(),
+			Psi0: ns.Psi0.String(),
+		}
+		for j, p := range ns.Psi {
+			if p.Sign() > 0 {
+				if w.Psi == nil {
+					w.Psi = map[string]string{}
+				}
+				w.Psi[s.Tree.Name(s.Tree.Children(ns.Node)[j])] = p.String()
+			}
+		}
+		nodes = append(nodes, w)
+	}
+	return json.MarshalIndent(nodes, "", "  ")
+}
+
+// UnmarshalDeployment rebuilds a schedule for platform t from a deployment
+// document: rates are recovered as η = ψ/T^w and every derived quantity
+// (periods, bunches, patterns) is recomputed locally, exactly as a
+// deployed node would.
+func UnmarshalDeployment(t *tree.Tree, data []byte, opt Options) (*Schedule, error) {
+	var nodes []wireNode
+	if err := json.Unmarshal(data, &nodes); err != nil {
+		return nil, err
+	}
+	rates := make([]nodeRates, t.Len())
+	for i := range rates {
+		rates[i] = nodeRates{sends: make([]rat.R, len(t.Children(tree.NodeID(i))))}
+	}
+	for _, w := range nodes {
+		id, ok := t.Lookup(w.Name)
+		if !ok {
+			return nil, fmt.Errorf("sched: deployment names unknown node %q", w.Name)
+		}
+		tw, err := rat.Parse(w.TW)
+		if err != nil {
+			return nil, fmt.Errorf("sched: node %q: tw: %v", w.Name, err)
+		}
+		if !tw.IsPos() {
+			return nil, fmt.Errorf("sched: node %q: non-positive T^w", w.Name)
+		}
+		psi0, err := rat.Parse(w.Psi0)
+		if err != nil {
+			return nil, fmt.Errorf("sched: node %q: psi0: %v", w.Name, err)
+		}
+		nr := &rates[id]
+		nr.alpha = psi0.Div(tw)
+		nr.active = true
+		children := t.Children(id)
+		for childName, pv := range w.Psi {
+			cid, ok := t.Lookup(childName)
+			if !ok || t.Parent(cid) != id {
+				return nil, fmt.Errorf("sched: node %q: %q is not a child", w.Name, childName)
+			}
+			p, err := rat.Parse(pv)
+			if err != nil {
+				return nil, fmt.Errorf("sched: node %q: ψ(%s): %v", w.Name, childName, err)
+			}
+			for j, c := range children {
+				if c == cid {
+					nr.sends[j] = p.Div(tw)
+				}
+			}
+		}
+	}
+	return buildFromRates(t, rates, opt)
+}

@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/treegen"
+)
+
+func TestDeploymentRoundTrip(t *testing.T) {
+	tr := paperTree()
+	res := bwfirst.Solve(tr)
+	orig, err := Build(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.MarshalDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDeployment(tr, data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Nodes {
+		a, b := &orig.Nodes[i], &back.Nodes[i]
+		if a.Active != b.Active {
+			t.Fatalf("node %s active mismatch", tr.Name(a.Node))
+		}
+		if !a.Active {
+			continue
+		}
+		if !a.TW.Equal(b.TW) || !a.TS.Equal(b.TS) || !a.TC.Equal(b.TC) {
+			t.Fatalf("node %s periods differ", tr.Name(a.Node))
+		}
+		if a.Bunch.Cmp(b.Bunch) != 0 {
+			t.Fatalf("node %s Ψ differs", tr.Name(a.Node))
+		}
+		if len(a.Pattern) != len(b.Pattern) {
+			t.Fatalf("node %s pattern length differs", tr.Name(a.Node))
+		}
+		for k := range a.Pattern {
+			if a.Pattern[k].Dest != b.Pattern[k].Dest {
+				t.Fatalf("node %s pattern slot %d differs", tr.Name(a.Node), k)
+			}
+		}
+	}
+	if back.TreePeriod().Cmp(orig.TreePeriod()) != 0 {
+		t.Fatal("tree period changed")
+	}
+}
+
+func TestDeploymentRoundTripAcrossGenerators(t *testing.T) {
+	for _, k := range []treegen.Kind{treegen.Uniform, treegen.SETI, treegen.SwitchHeavy} {
+		tr := treegen.Generate(k, 18, 6)
+		res := bwfirst.Solve(tr)
+		orig, err := Build(res, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := orig.MarshalDeployment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalDeployment(tr, data, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := back.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+	}
+}
+
+func TestDeploymentErrors(t *testing.T) {
+	tr := paperTree()
+	if _, err := UnmarshalDeployment(tr, []byte("{"), Options{}); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	cases := []string{
+		`[{"name":"nope","tw":"1","psi0":"1"}]`,
+		`[{"name":"P0","tw":"x","psi0":"1"}]`,
+		`[{"name":"P0","tw":"0","psi0":"1"}]`,
+		`[{"name":"P0","tw":"1","psi0":"x"}]`,
+		`[{"name":"P0","tw":"1","psi0":"1","psi":{"P3":"1"}}]`, // P3 not P0's child
+		`[{"name":"P0","tw":"1","psi0":"1","psi":{"P1":"zz"}}]`,
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalDeployment(tr, []byte(c), Options{}); err == nil {
+			t.Fatalf("accepted %s", c)
+		}
+	}
+}
+
+func TestDeploymentIsCompact(t *testing.T) {
+	res := bwfirst.Solve(paperTree())
+	s, err := Build(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"psi0"`) {
+		t.Fatal("unexpected shape")
+	}
+	// Even pretty-printed JSON stays below 1KB for the 12-node platform.
+	if len(data) > 1024 {
+		t.Fatalf("deployment doc %d bytes", len(data))
+	}
+}

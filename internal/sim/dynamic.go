@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+
+	"bwc/internal/des"
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/trace"
+	"bwc/internal/tree"
+)
+
+// The paper's Section 5 sketches dynamic adaptation — the root re-runs
+// BW-First when it observes a throughput drop — and leaves "measuring the
+// overhead incurred by the global synchronization phase" as future work.
+// SimulateDynamic makes that measurable: the physical platform can change
+// mid-run (a link degrades), and the schedules can change at a *different*
+// (later) moment, modeling the detection-and-renegotiation lag. Between
+// the two instants every node still runs its stale schedule against the
+// new physics, which is exactly the regime whose cost the paper asks
+// about.
+
+// Phase activates a schedule at a point in virtual time. The first phase
+// must start at 0. Activating a phase resets every node's pattern cursor;
+// buffered tasks survive and are re-routed by the new pattern.
+type Phase struct {
+	At       rat.R
+	Schedule *sched.Schedule
+}
+
+// PhysicsChange swaps the physical platform (weights only; same topology)
+// at a point in virtual time. Transfers already in flight complete under
+// the conditions they started with.
+type PhysicsChange struct {
+	At   rat.R
+	Tree *tree.Tree
+}
+
+// DynOptions configures a dynamic run.
+type DynOptions struct {
+	// Phases lists the schedule regimes in increasing At order; the first
+	// must have At = 0.
+	Phases []Phase
+	// Physics lists platform changes in increasing At order (may be
+	// empty).
+	Physics []PhysicsChange
+	// Stop is when the root stops releasing tasks.
+	Stop rat.R
+	// MaxEvents bounds the engine (default 20 million).
+	MaxEvents uint64
+	// SkipIntervals suppresses Gantt interval recording.
+	SkipIntervals bool
+}
+
+// DynRun is the result of a dynamic simulation.
+type DynRun struct {
+	Trace *trace.Trace
+	// Generated and Completed count tasks over the whole run; Dropped
+	// counts stragglers that no node could handle after a schedule switch
+	// (Generated = Completed + Dropped after drain).
+	Generated int
+	Completed int
+	Dropped   int
+	// WindDown is the drain time after Stop.
+	WindDown rat.R
+	// MaxHeld is the peak buffered-task count over all nodes.
+	MaxHeld int
+}
+
+// SimulateDynamic runs a multi-phase schedule over a platform whose
+// physics may change mid-run.
+func SimulateDynamic(opt DynOptions) (*DynRun, error) {
+	if len(opt.Phases) == 0 {
+		return nil, fmt.Errorf("sim: no phases")
+	}
+	if !opt.Phases[0].At.IsZero() {
+		return nil, fmt.Errorf("sim: first phase must start at 0 (got %s)", opt.Phases[0].At)
+	}
+	if !opt.Stop.IsPos() {
+		return nil, fmt.Errorf("sim: Stop must be positive")
+	}
+	if opt.MaxEvents == 0 {
+		opt.MaxEvents = 20_000_000
+	}
+	for i, p := range opt.Phases {
+		if p.Schedule == nil {
+			return nil, fmt.Errorf("sim: phase %d has no schedule", i)
+		}
+	}
+	base := opt.Phases[0].Schedule.Tree
+	for i, p := range opt.Phases {
+		if err := sameShape(base, p.Schedule.Tree); err != nil {
+			return nil, fmt.Errorf("sim: phase %d: %v", i, err)
+		}
+		if i > 0 && !opt.Phases[i-1].At.Less(p.At) {
+			return nil, fmt.Errorf("sim: phase times not increasing")
+		}
+		for j := range p.Schedule.Nodes {
+			ns := &p.Schedule.Nodes[j]
+			if ns.Active && ns.Pattern == nil {
+				return nil, fmt.Errorf("sim: phase %d: node %s pattern too large", i, base.Name(ns.Node))
+			}
+		}
+	}
+	for i, pc := range opt.Physics {
+		if err := sameShape(base, pc.Tree); err != nil {
+			return nil, fmt.Errorf("sim: physics change %d: %v", i, err)
+		}
+		if i > 0 && !opt.Physics[i-1].At.Less(pc.At) {
+			return nil, fmt.Errorf("sim: physics times not increasing")
+		}
+	}
+
+	sm := &simulator{
+		eng:     &des.Engine{},
+		t:       base,
+		s:       opt.Phases[0].Schedule,
+		tr:      &trace.Trace{Tree: base},
+		nodes:   make([]nodeState, base.Len()),
+		opt:     Options{Stop: opt.Stop, MaxEvents: opt.MaxEvents, SkipIntervals: opt.SkipIntervals},
+		stats:   &Stats{StopAt: opt.Stop, TreePeriod: opt.Phases[0].Schedule.TreePeriod()},
+		dynamic: true,
+	}
+	for i := range sm.nodes {
+		sm.nodes[i] = nodeState{id: tree.NodeID(i), pattern: opt.Phases[0].Schedule.Nodes[i].Pattern}
+	}
+
+	// Physics swaps.
+	for _, pc := range opt.Physics {
+		if opt.Stop.Less(pc.At) {
+			continue
+		}
+		t := pc.Tree
+		sm.eng.At(pc.At, func() { sm.t = t })
+	}
+	// Phase activations (the first is already in place) and the root's
+	// release chains, one per phase window.
+	for i, p := range opt.Phases {
+		until := opt.Stop
+		if i+1 < len(opt.Phases) && opt.Phases[i+1].At.Less(until) {
+			until = opt.Phases[i+1].At
+		}
+		if !p.At.Less(until) {
+			continue // phase entirely after Stop
+		}
+		s := p.Schedule
+		if i > 0 {
+			sm.eng.At(p.At, func() { sm.applySchedule(s) })
+		}
+		sm.genPhase(s, p.At, until, 0)
+	}
+	if err := sm.eng.Drain(opt.MaxEvents); err != nil {
+		return nil, err
+	}
+	sm.tr.End = sm.eng.Now()
+
+	run := &DynRun{
+		Trace:     sm.tr,
+		Generated: sm.stats.Generated,
+		Completed: sm.tr.TotalCompleted(),
+		Dropped:   sm.dropped,
+	}
+	if last, ok := sm.tr.LastCompletion(); ok && opt.Stop.Less(last) {
+		run.WindDown = last.Sub(opt.Stop)
+	}
+	for _, h := range sm.tr.MaxBufferHeld() {
+		if h > run.MaxHeld {
+			run.MaxHeld = h
+		}
+	}
+	return run, nil
+}
+
+// applySchedule swaps every node onto a new schedule's pattern, resetting
+// cursors; queued tasks are re-routed by the new pattern as they are
+// handled.
+func (sm *simulator) applySchedule(s *sched.Schedule) {
+	sm.s = s
+	for i := range sm.nodes {
+		ns := &sm.nodes[i]
+		ns.pattern = s.Nodes[i].Pattern
+		ns.cursor = 0
+	}
+}
+
+// genPhase releases the root's tasks for one phase window [start, until)
+// using the phase schedule's pacing, anchored at the phase start.
+func (sm *simulator) genPhase(s *sched.Schedule, start, until rat.R, p int64) {
+	rootSched := &s.Nodes[s.Tree.Root()]
+	if !rootSched.Active || len(rootSched.Pattern) == 0 {
+		return
+	}
+	tw := rootSched.TW
+	base := start.Add(tw.Mul(rat.FromInt(p)))
+	if !base.Less(until) {
+		return
+	}
+	for _, slot := range rootSched.Pattern {
+		at := base.Add(slot.Pos.Mul(tw))
+		if !at.Less(until) {
+			continue
+		}
+		dest := slot.Dest
+		sm.eng.At(at, func() {
+			sm.stats.Generated++
+			sm.assign(sm.t.Root(), dest)
+		})
+	}
+	next := base.Add(tw)
+	if next.Less(until) {
+		sm.eng.At(next, func() { sm.genPhase(s, start, until, p+1) })
+	}
+}
+
+// sameShape checks two trees share names and parent structure (weights may
+// differ).
+func sameShape(a, b *tree.Tree) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("topology changed: %d vs %d nodes", a.Len(), b.Len())
+	}
+	for id := 0; id < a.Len(); id++ {
+		n := tree.NodeID(id)
+		if a.Name(n) != b.Name(n) {
+			return fmt.Errorf("node %d renamed %q -> %q", id, a.Name(n), b.Name(n))
+		}
+		if a.Parent(n) != b.Parent(n) {
+			return fmt.Errorf("node %q re-parented", a.Name(n))
+		}
+		if a.IsSwitch(n) != b.IsSwitch(n) {
+			return fmt.Errorf("node %q changed between switch and computing node", a.Name(n))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,401 @@
+// Package sim executes a reconstructed schedule (internal/sched) on a
+// simulated platform under the paper's single-port, full-overlap model,
+// using exact rational virtual time (internal/des). It regenerates the
+// Section 8 experiment: the Figure 5 Gantt diagram, the start-up phase with
+// useful computation (Proposition 4), the steady-state regime, and the
+// wind-down after the root stops delegating tasks.
+//
+// Node behavior is exactly the paper's event-driven schedule (Section 6.2):
+//
+//   - Every node except the root acts without any time-related information.
+//     Incoming tasks are assigned round-robin through the node's
+//     interleaved allocation pattern (bunches of size Ψ): a slot either
+//     queues the task for local computation or queues it for one child.
+//     The single send port serves the send queue FIFO; the single receive
+//     port is naturally serialized because only the parent ever sends.
+//   - The root is the only clocked node. Slot k of its pattern in period p
+//     releases one task at the nominal time (p + pos_k)·T^w, which keeps
+//     the root in steady state from t = 0 (Section 7: the start-up phase
+//     allows useful computation everywhere).
+//
+// A task "held" at a node counts the tasks waiting in its compute or send
+// queues (not the ones currently being computed or transmitted); this is
+// the buffered-task metric of Section 6.3.
+package sim
+
+import (
+	"fmt"
+	"math/big"
+
+	"bwc/internal/des"
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/trace"
+	"bwc/internal/tree"
+)
+
+// Options configures a run.
+type Options struct {
+	// Stop is the time at which the root stops releasing tasks (the
+	// "stopped delegating tasks" moment of Section 8). Exactly one of
+	// Stop/Periods/Tasks must be set.
+	Stop rat.R
+	// Periods, when positive, sets Stop to Periods·T^w(root).
+	Periods int
+	// Tasks, when positive, releases exactly this many tasks (a finite
+	// batch, the makespan-minimization setting of Section 2) and then
+	// stops; the effective StopAt is the release time of the last task.
+	Tasks int
+	// BurstRoot releases all of a root period's tasks at the period start
+	// instead of pacing them at their slot positions — the naive "give
+	// the nodes all their tasks at once" timing that the Section 6.3
+	// strategy avoids. Used by the E7 ablation.
+	BurstRoot bool
+	// MaxEvents bounds the discrete-event engine (default 20 million).
+	MaxEvents uint64
+	// SkipIntervals suppresses Gantt interval recording (completions and
+	// buffer samples are always recorded); useful for large sweeps.
+	SkipIntervals bool
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	// Throughput is the analytic optimal rate the schedule targets.
+	Throughput rat.R
+	// TreePeriod is the synchronized steady-state period T of the whole
+	// tree; PerPeriod = Throughput·T tasks complete per period in steady
+	// state.
+	TreePeriod *big.Int
+	PerPeriod  *big.Int
+	// StopAt is the effective stop time of the run.
+	StopAt rat.R
+	// Generated counts tasks released by the root; Completed counts tasks
+	// executed. After drain they must be equal.
+	Generated int
+	Completed int
+	// SteadyStart is the beginning of the first TreePeriod-aligned window
+	// from which every later full window runs at the optimal rate;
+	// SteadyOK is false when the run never settles before StopAt.
+	SteadyStart rat.R
+	SteadyOK    bool
+	// StartupCompleted counts tasks that completed before SteadyStart:
+	// the "useful computation during start-up" of Section 7.
+	StartupCompleted int
+	// WindDown is the time between StopAt and the last completion
+	// (zero when everything finished before the stop).
+	WindDown rat.R
+	// MaxHeld is the peak buffered-task count over all nodes.
+	MaxHeld int
+	// Makespan is the completion time of the last task: the makespan of
+	// the batch in Tasks mode (zero when nothing completed).
+	Makespan rat.R
+}
+
+// Run is the result of simulating a schedule.
+type Run struct {
+	Schedule *sched.Schedule
+	Trace    *trace.Trace
+	Stats    Stats
+}
+
+type nodeState struct {
+	id        tree.NodeID
+	pattern   []sched.Slot
+	cursor    int
+	computeQ  int
+	computing bool
+	sendQ     []int // child indices, FIFO
+	sending   bool
+	held      int
+}
+
+type simulator struct {
+	eng   *des.Engine
+	t     *tree.Tree
+	s     *sched.Schedule
+	tr    *trace.Trace
+	nodes []nodeState
+	opt   Options
+	stats *Stats
+	// dynamic enables best-effort handling of tasks that arrive at nodes
+	// the active schedule no longer uses (only possible across phase
+	// switches); dropped counts tasks no node could handle.
+	dynamic bool
+	dropped int
+}
+
+// Simulate runs the schedule until the root stops and all in-flight work
+// drains, then post-processes the trace into Stats.
+func Simulate(s *sched.Schedule, opt Options) (*Run, error) {
+	t := s.Tree
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("sim: empty platform")
+	}
+	root := t.Root()
+	rootSched := &s.Nodes[root]
+	set := 0
+	if opt.Periods > 0 {
+		set++
+	}
+	if opt.Stop.IsPos() {
+		set++
+	}
+	if opt.Tasks > 0 {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("sim: set exactly one of Stop, Periods and Tasks")
+	}
+	if opt.Periods > 0 {
+		opt.Stop = rootSched.TW.Mul(rat.FromInt(int64(opt.Periods)))
+	}
+	if opt.Stop.IsNeg() {
+		return nil, fmt.Errorf("sim: Stop must be positive")
+	}
+	if opt.MaxEvents == 0 {
+		opt.MaxEvents = 20_000_000
+	}
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		if ns.Active && ns.Pattern == nil {
+			return nil, fmt.Errorf("sim: node %s has Ψ=%s, too large to materialize (raise sched.Options.MaxPatternLen)",
+				t.Name(ns.Node), ns.Bunch)
+		}
+	}
+	if !rootSched.Active {
+		return nil, fmt.Errorf("sim: root is inactive; nothing to simulate")
+	}
+
+	if opt.Tasks > 0 {
+		// A finite batch needs a positive release rate.
+		if !s.Res.Throughput.IsPos() {
+			return nil, fmt.Errorf("sim: platform has zero throughput; cannot release a batch")
+		}
+	}
+	st := &Stats{
+		Throughput: s.Res.Throughput,
+		TreePeriod: s.TreePeriod(),
+		StopAt:     opt.Stop,
+	}
+	perPeriod := s.Res.Throughput.MulInt(st.TreePeriod)
+	if !perPeriod.IsInt() {
+		return nil, fmt.Errorf("sim: throughput·period = %s not integer", perPeriod)
+	}
+	st.PerPeriod = perPeriod.Num()
+
+	sm := &simulator{
+		eng:   &des.Engine{},
+		t:     t,
+		s:     s,
+		tr:    &trace.Trace{Tree: t},
+		nodes: make([]nodeState, t.Len()),
+		opt:   opt,
+		stats: st,
+	}
+	for i := range sm.nodes {
+		sm.nodes[i] = nodeState{id: tree.NodeID(i), pattern: s.Nodes[i].Pattern}
+	}
+
+	sm.schedulePeriod(0, 0)
+	if err := sm.eng.Drain(opt.MaxEvents); err != nil {
+		return nil, err
+	}
+	sm.tr.End = sm.eng.Now()
+	sm.finishStats()
+	return &Run{Schedule: s, Trace: sm.tr, Stats: *st}, nil
+}
+
+// schedulePeriod releases the root's period-p slots that fall before Stop
+// (or until the Tasks budget is exhausted), then chains the next period
+// lazily. released counts slots scheduled so far in Tasks mode.
+func (sm *simulator) schedulePeriod(p, released int64) {
+	rootSched := &sm.s.Nodes[sm.t.Root()]
+	tw := rootSched.TW
+	base := tw.Mul(rat.FromInt(p))
+	timed := sm.opt.Tasks == 0
+	if timed && !base.Less(sm.opt.Stop) {
+		return
+	}
+	for _, slot := range rootSched.Pattern {
+		at := base.Add(slot.Pos.Mul(tw))
+		if sm.opt.BurstRoot {
+			at = base // released in pattern order at the period start
+		}
+		if timed && !at.Less(sm.opt.Stop) {
+			continue
+		}
+		if !timed {
+			if released >= int64(sm.opt.Tasks) {
+				return
+			}
+			released++
+			// The last release time is the batch's effective stop.
+			sm.stats.StopAt = at
+		}
+		dest := slot.Dest
+		sm.eng.At(at, func() {
+			sm.stats.Generated++
+			sm.assign(sm.t.Root(), dest)
+		})
+	}
+	if !timed && released >= int64(sm.opt.Tasks) {
+		return
+	}
+	next := base.Add(tw)
+	if timed && !next.Less(sm.opt.Stop) {
+		return
+	}
+	sm.eng.At(next, func() { sm.schedulePeriod(p+1, released) })
+}
+
+// assign hands one task at node n to destination dest (Self or child
+// index), updating queues and kicking the relevant resource.
+func (sm *simulator) assign(n tree.NodeID, dest sched.Dest) {
+	ns := &sm.nodes[n]
+	if dest == sched.Self {
+		ns.computeQ++
+	} else {
+		ns.sendQ = append(ns.sendQ, int(dest))
+	}
+	// Kick before sampling so a task that enters service immediately is
+	// never counted as buffered.
+	sm.kickCompute(ns)
+	sm.kickSend(ns)
+	sm.sampleBuffer(ns)
+}
+
+// arrive processes a task arriving at non-root node n: route it through
+// the node's allocation pattern (event-driven, no clock).
+func (sm *simulator) arrive(n tree.NodeID) {
+	ns := &sm.nodes[n]
+	if len(ns.pattern) == 0 {
+		if sm.dynamic {
+			sm.stranded(n)
+			return
+		}
+		// In a static run a task delivered to a node that expects none is
+		// a schedule bug; surface loudly.
+		panic(fmt.Sprintf("sim: node %s received a task but has an empty pattern", sm.t.Name(n)))
+	}
+	slot := ns.pattern[ns.cursor]
+	ns.cursor = (ns.cursor + 1) % len(ns.pattern)
+	sm.assign(n, slot.Dest)
+}
+
+// stranded handles a task at a node whose active pattern is empty — only
+// possible after a dynamic schedule switch left in-flight tasks behind.
+// Best effort: compute locally, otherwise forward over the fastest link,
+// otherwise the task is dropped (reported in DynRun.Dropped).
+func (sm *simulator) stranded(n tree.NodeID) {
+	if !sm.t.IsSwitch(n) {
+		sm.assign(n, sched.Self)
+		return
+	}
+	children := sm.t.Children(n)
+	if len(children) == 0 {
+		sm.dropped++
+		return
+	}
+	best := 0
+	for j := 1; j < len(children); j++ {
+		if sm.t.CommTime(children[j]).Less(sm.t.CommTime(children[best])) {
+			best = j
+		}
+	}
+	sm.assign(n, sched.Dest(best))
+}
+
+func (sm *simulator) kickCompute(ns *nodeState) {
+	if ns.computing || ns.computeQ == 0 {
+		return
+	}
+	w, ok := sm.t.ProcTime(ns.id)
+	if !ok {
+		panic(fmt.Sprintf("sim: switch %s asked to compute", sm.t.Name(ns.id)))
+	}
+	ns.computing = true
+	ns.computeQ--
+	sm.sampleBuffer(ns)
+	start := sm.eng.Now()
+	end := start.Add(w)
+	if !sm.opt.SkipIntervals {
+		sm.tr.AddInterval(trace.Interval{Node: ns.id, Kind: trace.Compute, Start: start, End: end, Peer: tree.None})
+	}
+	sm.eng.At(end, func() {
+		ns.computing = false
+		sm.tr.AddCompletion(ns.id, end)
+		sm.kickCompute(ns)
+	})
+}
+
+func (sm *simulator) kickSend(ns *nodeState) {
+	if ns.sending || len(ns.sendQ) == 0 {
+		return
+	}
+	childIdx := ns.sendQ[0]
+	ns.sendQ = ns.sendQ[1:]
+	child := sm.t.Children(ns.id)[childIdx]
+	c := sm.t.CommTime(child)
+	ns.sending = true
+	sm.sampleBuffer(ns)
+	start := sm.eng.Now()
+	end := start.Add(c)
+	if !sm.opt.SkipIntervals {
+		sm.tr.AddInterval(trace.Interval{Node: ns.id, Kind: trace.Send, Start: start, End: end, Peer: child})
+		sm.tr.AddInterval(trace.Interval{Node: child, Kind: trace.Recv, Start: start, End: end, Peer: ns.id})
+	}
+	sm.eng.At(end, func() {
+		ns.sending = false
+		sm.arrive(child)
+		sm.kickSend(ns)
+	})
+}
+
+func (sm *simulator) sampleBuffer(ns *nodeState) {
+	held := ns.computeQ + len(ns.sendQ)
+	if held == ns.held {
+		return
+	}
+	ns.held = held
+	sm.tr.AddBufferSample(ns.id, sm.eng.Now(), held)
+}
+
+func (sm *simulator) finishStats() {
+	st := sm.stats
+	st.Completed = sm.tr.TotalCompleted()
+	period := rat.FromBigInt(st.TreePeriod)
+	horizon := periodFloor(st.StopAt, period)
+	if st.PerPeriod.IsInt64() {
+		start, ok := sm.tr.SteadyStart(period, int(st.PerPeriod.Int64()), horizon)
+		st.SteadyStart, st.SteadyOK = start, ok
+		if ok {
+			st.StartupCompleted = sm.tr.CompletedIn(rat.Zero, start)
+		}
+	}
+	if last, ok := sm.tr.LastCompletion(); ok {
+		st.Makespan = last
+		if st.StopAt.Less(last) {
+			st.WindDown = last.Sub(st.StopAt)
+		}
+	}
+	for _, h := range sm.tr.MaxBufferHeld() {
+		if h > st.MaxHeld {
+			st.MaxHeld = h
+		}
+	}
+}
+
+// periodFloor returns the largest multiple of period that is <= t.
+func periodFloor(t, period rat.R) rat.R {
+	return period.Mul(t.Div(period).Floor())
+}
+
+// CheckConservation verifies that every released task completed and that
+// the trace is physically feasible. Call after Simulate for end-to-end
+// validation (tests and the verify CLI do).
+func (r *Run) CheckConservation() error {
+	if r.Stats.Generated != r.Stats.Completed {
+		return fmt.Errorf("sim: %d tasks generated but %d completed", r.Stats.Generated, r.Stats.Completed)
+	}
+	return r.Trace.Validate()
+}

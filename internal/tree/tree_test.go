@@ -1,0 +1,357 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+
+	"bwc/internal/rat"
+)
+
+// sample builds the fork of Figure 2 flavor: root with three children of
+// distinct comm times, one of them a switch with its own child.
+func sample(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := NewBuilder().
+		Root("P0", rat.FromInt(3)).
+		Child("P0", "P1", rat.FromInt(1), rat.FromInt(2)).
+		Child("P0", "P2", rat.FromInt(2), rat.FromInt(1)).
+		SwitchChild("P0", "P3", rat.FromInt(1)).
+		Child("P3", "P4", rat.New(1, 2), rat.FromInt(4)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuilderBasic(t *testing.T) {
+	tr := sample(t)
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Root() != 0 || tr.Name(0) != "P0" {
+		t.Fatalf("root = %d %q", tr.Root(), tr.Name(0))
+	}
+	p1 := tr.MustLookup("P1")
+	if tr.Parent(p1) != tr.Root() {
+		t.Fatal("P1 parent")
+	}
+	if got := tr.CommTime(p1); !got.Equal(rat.One) {
+		t.Fatalf("c(P1) = %s", got)
+	}
+	if got := tr.Bandwidth(tr.MustLookup("P4")); !got.Equal(rat.Two) {
+		t.Fatalf("b(P4) = %s", got)
+	}
+	if got := tr.Rate(tr.MustLookup("P2")); !got.Equal(rat.One) {
+		t.Fatalf("r(P2) = %s", got)
+	}
+	if !tr.IsSwitch(tr.MustLookup("P3")) {
+		t.Fatal("P3 not a switch")
+	}
+	if got := tr.Rate(tr.MustLookup("P3")); !got.IsZero() {
+		t.Fatalf("switch rate = %s", got)
+	}
+	if _, ok := tr.ProcTime(tr.MustLookup("P3")); ok {
+		t.Fatal("switch has proc time")
+	}
+	if w, ok := tr.ProcTime(tr.MustLookup("P4")); !ok || !w.Equal(rat.FromInt(4)) {
+		t.Fatalf("w(P4) = %s %v", w, ok)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Tree, error)
+		want  string
+	}{
+		{"no root", func() (*Tree, error) { return NewBuilder().Build() }, "no root"},
+		{"double root", func() (*Tree, error) {
+			return NewBuilder().Root("a", rat.One).Root("b", rat.One).Build()
+		}, "root must be added first"},
+		{"dup name", func() (*Tree, error) {
+			return NewBuilder().Root("a", rat.One).Child("a", "a", rat.One, rat.One).Build()
+		}, "duplicate"},
+		{"unknown parent", func() (*Tree, error) {
+			return NewBuilder().Root("a", rat.One).Child("zz", "b", rat.One, rat.One).Build()
+		}, "unknown parent"},
+		{"zero proc", func() (*Tree, error) {
+			return NewBuilder().Root("a", rat.Zero).Build()
+		}, "processing time must be > 0"},
+		{"negative proc", func() (*Tree, error) {
+			return NewBuilder().Root("a", rat.One).Child("a", "b", rat.One, rat.FromInt(-1)).Build()
+		}, "processing time must be > 0"},
+		{"zero comm", func() (*Tree, error) {
+			return NewBuilder().Root("a", rat.One).Child("a", "b", rat.Zero, rat.One).Build()
+		}, "communication time must be > 0"},
+		{"empty name", func() (*Tree, error) {
+			return NewBuilder().Root("", rat.One).Build()
+		}, "empty node name"},
+		{"switch root child bad comm", func() (*Tree, error) {
+			return NewBuilder().RootSwitch("s").SwitchChild("s", "t", rat.FromInt(-2)).Build()
+		}, "communication time must be > 0"},
+	}
+	for _, c := range cases {
+		_, err := c.build()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBuilderFirstErrorWins(t *testing.T) {
+	_, err := NewBuilder().
+		Root("a", rat.Zero).                // first error
+		Child("a", "a", rat.One, rat.Zero). // would be two more errors
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "processing time") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChildrenOrderAndByComm(t *testing.T) {
+	tr := NewBuilder().
+		Root("r", rat.One).
+		Child("r", "slow", rat.FromInt(5), rat.One).
+		Child("r", "fast", rat.One, rat.One).
+		Child("r", "mid", rat.Two, rat.One).
+		Child("r", "fast2", rat.One, rat.One). // ties with "fast": insertion order wins
+		Build
+	tree, err := tr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertion := tree.Children(tree.Root())
+	if n := tree.Name(insertion[0]); n != "slow" {
+		t.Fatalf("insertion order broken: first = %s", n)
+	}
+	got := tree.ChildrenByComm(tree.Root())
+	names := make([]string, len(got))
+	for i, id := range got {
+		names[i] = tree.Name(id)
+	}
+	want := "fast fast2 mid slow"
+	if strings.Join(names, " ") != want {
+		t.Fatalf("ChildrenByComm = %v, want %s", names, want)
+	}
+}
+
+func TestDepthHeightAncestors(t *testing.T) {
+	tr := sample(t)
+	p4 := tr.MustLookup("P4")
+	if d := tr.Depth(p4); d != 2 {
+		t.Fatalf("depth(P4) = %d", d)
+	}
+	if d := tr.Depth(tr.Root()); d != 0 {
+		t.Fatalf("depth(root) = %d", d)
+	}
+	if h := tr.Height(); h != 2 {
+		t.Fatalf("height = %d", h)
+	}
+	anc := tr.Ancestors(p4)
+	if len(anc) != 2 || tr.Name(anc[0]) != "P3" || tr.Name(anc[1]) != "P0" {
+		t.Fatalf("ancestors(P4) = %v", anc)
+	}
+	if len(tr.Ancestors(tr.Root())) != 0 {
+		t.Fatal("root has ancestors")
+	}
+}
+
+func TestWalkAndPostOrder(t *testing.T) {
+	tr := sample(t)
+	var pre []string
+	tr.Walk(tr.Root(), func(id NodeID) bool {
+		pre = append(pre, tr.Name(id))
+		return true
+	})
+	if strings.Join(pre, " ") != "P0 P1 P2 P3 P4" {
+		t.Fatalf("preorder = %v", pre)
+	}
+	var post []string
+	for _, id := range tr.PostOrder(tr.Root()) {
+		post = append(post, tr.Name(id))
+	}
+	if strings.Join(post, " ") != "P1 P2 P4 P3 P0" {
+		t.Fatalf("postorder = %v", post)
+	}
+	// Early stop.
+	var n int
+	tr.Walk(tr.Root(), func(id NodeID) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestSubtreeSizeLeaves(t *testing.T) {
+	tr := sample(t)
+	if s := tr.SubtreeSize(tr.Root()); s != 5 {
+		t.Fatalf("size(root) = %d", s)
+	}
+	if s := tr.SubtreeSize(tr.MustLookup("P3")); s != 2 {
+		t.Fatalf("size(P3) = %d", s)
+	}
+	leaves := tr.Leaves(tr.Root())
+	var names []string
+	for _, id := range leaves {
+		names = append(names, tr.Name(id))
+	}
+	if strings.Join(names, " ") != "P1 P2 P4" {
+		t.Fatalf("leaves = %v", names)
+	}
+	if !tr.IsLeaf(tr.MustLookup("P4")) || tr.IsLeaf(tr.Root()) {
+		t.Fatal("IsLeaf wrong")
+	}
+}
+
+func TestTotalRateAndMaxChildBandwidth(t *testing.T) {
+	tr := sample(t)
+	// 1/3 + 1/2 + 1 + 0 + 1/4 = 25/12
+	if got := tr.TotalRate(); !got.Equal(rat.New(25, 12)) {
+		t.Fatalf("TotalRate = %s", got)
+	}
+	if got := tr.MaxChildBandwidth(tr.Root()); !got.Equal(rat.One) {
+		t.Fatalf("MaxChildBandwidth(root) = %s", got)
+	}
+	if got := tr.MaxChildBandwidth(tr.MustLookup("P4")); !got.IsZero() {
+		t.Fatalf("MaxChildBandwidth(leaf) = %s", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := sample(t)
+	cp := tr.Clone()
+	if !tr.Equal(cp) {
+		t.Fatal("clone not equal")
+	}
+	mod, err := cp.WithCommTime(cp.MustLookup("P1"), rat.FromInt(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Equal(mod) {
+		t.Fatal("WithCommTime leaked into original")
+	}
+	if !tr.CommTime(tr.MustLookup("P1")).Equal(rat.One) {
+		t.Fatal("original mutated")
+	}
+	if !mod.CommTime(mod.MustLookup("P1")).Equal(rat.FromInt(9)) {
+		t.Fatal("modified copy wrong")
+	}
+}
+
+func TestWithProcTime(t *testing.T) {
+	tr := sample(t)
+	p3 := tr.MustLookup("P3")
+	mod, err := tr.WithProcTime(p3, rat.FromInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.IsSwitch(mod.MustLookup("P3")) {
+		t.Fatal("switch flag not cleared")
+	}
+	if got := mod.Rate(p3); !got.Equal(rat.New(1, 7)) {
+		t.Fatalf("rate = %s", got)
+	}
+	if _, err := tr.WithProcTime(p3, rat.Zero); err == nil {
+		t.Fatal("zero proc accepted")
+	}
+}
+
+func TestWithCommTimeErrors(t *testing.T) {
+	tr := sample(t)
+	if _, err := tr.WithCommTime(tr.Root(), rat.One); err == nil {
+		t.Fatal("root comm change accepted")
+	}
+	if _, err := tr.WithCommTime(tr.MustLookup("P1"), rat.Zero); err == nil {
+		t.Fatal("zero comm accepted")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a := sample(t)
+	b := sample(t)
+	if !a.Equal(b) {
+		t.Fatal("identical trees not equal")
+	}
+	c, _ := b.WithProcTime(b.MustLookup("P1"), rat.FromInt(99))
+	if a.Equal(c) {
+		t.Fatal("different proc times equal")
+	}
+	single := NewBuilder().Root("P0", rat.One).MustBuild()
+	if a.Equal(single) {
+		t.Fatal("different sizes equal")
+	}
+	renamed := NewBuilder().
+		Root("Q0", rat.FromInt(3)).
+		Child("Q0", "P1", rat.FromInt(1), rat.FromInt(2)).
+		Child("Q0", "P2", rat.FromInt(2), rat.FromInt(1)).
+		SwitchChild("Q0", "P3", rat.FromInt(1)).
+		Child("P3", "P4", rat.New(1, 2), rat.FromInt(4)).
+		MustBuild()
+	if a.Equal(renamed) {
+		t.Fatal("renamed root equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	tr := sample(t)
+	s := tr.String()
+	for _, frag := range []string{"P0(w=3)", "P1(c=1,w=2)", "P3(c=1,w=inf)", "P4(c=1/2,w=4)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	empty := &Tree{}
+	if empty.String() != "(empty)" {
+		t.Fatalf("empty String = %q", empty.String())
+	}
+	if empty.Root() != None {
+		t.Fatal("empty tree root != None")
+	}
+}
+
+func TestInvalidIDPanics(t *testing.T) {
+	tr := sample(t)
+	for _, fn := range []func(){
+		func() { tr.Name(NodeID(99)) },
+		func() { tr.Name(None) },
+		func() { tr.CommTime(tr.Root()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid access")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	tr := sample(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup(unknown) did not panic")
+		}
+	}()
+	tr.MustLookup("nope")
+}
+
+func TestRootSwitch(t *testing.T) {
+	tr := NewBuilder().
+		RootSwitch("hub").
+		Child("hub", "w1", rat.One, rat.One).
+		MustBuild()
+	if !tr.IsSwitch(tr.Root()) {
+		t.Fatal("root not switch")
+	}
+	if !tr.Rate(tr.Root()).IsZero() {
+		t.Fatal("switch root rate != 0")
+	}
+	if !strings.Contains(tr.String(), "hub(w=inf)") {
+		t.Fatalf("String = %q", tr.String())
+	}
+}

@@ -1,0 +1,31 @@
+package treeio
+
+import (
+	"testing"
+)
+
+// FuzzParseText checks that arbitrary input never panics the parser and
+// that every successfully parsed platform round-trips through the writer.
+func FuzzParseText(f *testing.F) {
+	f.Add("P0 - - 3\nP1 P0 1 2\n")
+	f.Add("# comment only\n")
+	f.Add("P0 - - inf\nSW P0 1/2 inf\nW SW 2 5\n")
+	f.Add("P0 - - 0.5")
+	f.Add("a - - 1\nb a 1 1\nc b 1/3 7/2")
+	f.Add("x - 1 1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseTextString(input)
+		if err != nil {
+			return
+		}
+		out := TextString(tr)
+		back, err := ParseTextString(out)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v\n%s", err, out)
+		}
+		if !tr.Equal(back) {
+			t.Fatalf("round trip changed the tree:\nin:  %s\nout: %s", tr, back)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+// Package treeio reads and writes platform trees.
+//
+// Three formats are supported:
+//
+//   - A line-oriented text format for hand-written platforms and CLI use:
+//     one node per line, "name parent comm proc", where the root uses "-"
+//     for parent and comm, and proc is a rational ("3", "1/2", "0.25") or
+//     "inf" for a switch. '#' starts a comment. Children keep file order.
+//   - JSON, as a nested structure (for tooling).
+//   - Graphviz DOT export (for figures like the paper's Figure 1/4(a)).
+package treeio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+// ParseText reads the line-oriented format from r.
+func ParseText(r io.Reader) (*tree.Tree, error) {
+	b := tree.NewBuilder()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	seenRoot := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("treeio: line %d: want 4 fields (name parent comm proc), got %d", lineNo, len(fields))
+		}
+		name, parent, commS, procS := fields[0], fields[1], fields[2], fields[3]
+		isRoot := parent == "-"
+		if isRoot {
+			if seenRoot {
+				return nil, fmt.Errorf("treeio: line %d: second root %q", lineNo, name)
+			}
+			if commS != "-" {
+				return nil, fmt.Errorf("treeio: line %d: root must have comm '-'", lineNo)
+			}
+			seenRoot = true
+			if procS == "inf" {
+				b.RootSwitch(name)
+			} else {
+				proc, err := rat.Parse(procS)
+				if err != nil {
+					return nil, fmt.Errorf("treeio: line %d: proc: %v", lineNo, err)
+				}
+				b.Root(name, proc)
+			}
+			continue
+		}
+		comm, err := rat.Parse(commS)
+		if err != nil {
+			return nil, fmt.Errorf("treeio: line %d: comm: %v", lineNo, err)
+		}
+		if procS == "inf" {
+			b.SwitchChild(parent, name, comm)
+		} else {
+			proc, err := rat.Parse(procS)
+			if err != nil {
+				return nil, fmt.Errorf("treeio: line %d: proc: %v", lineNo, err)
+			}
+			b.Child(parent, name, comm, proc)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// ParseTextString is ParseText on a string.
+func ParseTextString(s string) (*tree.Tree, error) {
+	return ParseText(strings.NewReader(s))
+}
+
+// WriteText writes t in the line-oriented format (preorder, so the file
+// round-trips through ParseText preserving child order).
+func WriteText(w io.Writer, t *tree.Tree) error {
+	if t.Len() == 0 {
+		return fmt.Errorf("treeio: empty tree")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# name parent comm proc")
+	var err error
+	t.Walk(t.Root(), func(id tree.NodeID) bool {
+		parent, comm := "-", "-"
+		if p := t.Parent(id); p != tree.None {
+			parent = t.Name(p)
+			comm = t.CommTime(id).String()
+		}
+		proc := "inf"
+		if w, ok := t.ProcTime(id); ok {
+			proc = w.String()
+		}
+		_, err = fmt.Fprintf(bw, "%s %s %s %s\n", t.Name(id), parent, comm, proc)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// TextString renders t in the line-oriented format.
+func TextString(t *tree.Tree) string {
+	var sb strings.Builder
+	_ = WriteText(&sb, t)
+	return sb.String()
+}
+
+// jsonNode is the nested JSON shape.
+type jsonNode struct {
+	Name     string     `json:"name"`
+	Proc     string     `json:"proc"`           // rational or "inf"
+	Comm     string     `json:"comm,omitempty"` // absent for the root
+	Children []jsonNode `json:"children,omitempty"`
+}
+
+// MarshalJSON encodes t as nested JSON.
+func MarshalJSON(t *tree.Tree) ([]byte, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("treeio: empty tree")
+	}
+	var build func(id tree.NodeID) jsonNode
+	build = func(id tree.NodeID) jsonNode {
+		n := jsonNode{Name: t.Name(id), Proc: "inf"}
+		if w, ok := t.ProcTime(id); ok {
+			n.Proc = w.String()
+		}
+		if t.Parent(id) != tree.None {
+			n.Comm = t.CommTime(id).String()
+		}
+		for _, c := range t.Children(id) {
+			n.Children = append(n.Children, build(c))
+		}
+		return n
+	}
+	return json.MarshalIndent(build(t.Root()), "", "  ")
+}
+
+// UnmarshalJSON decodes a nested JSON platform.
+func UnmarshalJSON(data []byte) (*tree.Tree, error) {
+	var root jsonNode
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, err
+	}
+	b := tree.NewBuilder()
+	var add func(n jsonNode, parent string) error
+	add = func(n jsonNode, parent string) error {
+		if parent == "" {
+			if n.Proc == "inf" {
+				b.RootSwitch(n.Name)
+			} else {
+				proc, err := rat.Parse(n.Proc)
+				if err != nil {
+					return fmt.Errorf("treeio: node %q: proc: %v", n.Name, err)
+				}
+				b.Root(n.Name, proc)
+			}
+		} else {
+			comm, err := rat.Parse(n.Comm)
+			if err != nil {
+				return fmt.Errorf("treeio: node %q: comm: %v", n.Name, err)
+			}
+			if n.Proc == "inf" {
+				b.SwitchChild(parent, n.Name, comm)
+			} else {
+				proc, err := rat.Parse(n.Proc)
+				if err != nil {
+					return fmt.Errorf("treeio: node %q: proc: %v", n.Name, err)
+				}
+				b.Child(parent, n.Name, comm, proc)
+			}
+		}
+		for _, c := range n.Children {
+			if err := add(c, n.Name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := add(root, ""); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// DOT renders t as a Graphviz digraph; node labels carry w, edge labels
+// carry c (the Figure 1 convention). highlight, if non-nil, marks nodes
+// (e.g. the BW-First visited set) with a filled style.
+func DOT(t *tree.Tree, highlight func(tree.NodeID) bool) string {
+	var b strings.Builder
+	b.WriteString("digraph platform {\n  rankdir=TB;\n  node [shape=circle];\n")
+	if t.Len() > 0 {
+		t.Walk(t.Root(), func(id tree.NodeID) bool {
+			w := "inf"
+			if pw, ok := t.ProcTime(id); ok {
+				w = pw.String()
+			}
+			style := ""
+			if highlight != nil && highlight(id) {
+				style = `, style=filled, fillcolor="#a8dadc"`
+			}
+			fmt.Fprintf(&b, "  %q [label=\"%s\\nw=%s\"%s];\n", t.Name(id), t.Name(id), w, style)
+			if p := t.Parent(id); p != tree.None {
+				fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n", t.Name(p), t.Name(id), t.CommTime(id))
+			}
+			return true
+		})
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOTWithRates renders the platform with its optimal steady state overlaid:
+// used nodes are filled and labeled with their compute rate α, edges carry
+// "c / η" (link time and steady task rate). alpha and edgeRate are indexed
+// by NodeID; unvisited nodes stay unfilled.
+func DOTWithRates(t *tree.Tree, alpha func(tree.NodeID) rat.R, edgeRate func(tree.NodeID) rat.R) string {
+	var b strings.Builder
+	b.WriteString("digraph schedule {\n  rankdir=TB;\n  node [shape=circle];\n")
+	if t.Len() > 0 {
+		t.Walk(t.Root(), func(id tree.NodeID) bool {
+			a := alpha(id)
+			style := ""
+			if a.IsPos() {
+				style = `, style=filled, fillcolor="#a8dadc"`
+			}
+			fmt.Fprintf(&b, "  %q [label=\"%s\\nα=%s\"%s];\n", t.Name(id), t.Name(id), a, style)
+			if p := t.Parent(id); p != tree.None {
+				fmt.Fprintf(&b, "  %q -> %q [label=\"%s / %s\"];\n",
+					t.Name(p), t.Name(id), t.CommTime(id), edgeRate(id))
+			}
+			return true
+		})
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

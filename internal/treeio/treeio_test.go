@@ -1,0 +1,165 @@
+package treeio
+
+import (
+	"strings"
+	"testing"
+
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+	"bwc/internal/treegen"
+)
+
+const sampleText = `
+# demo platform
+P0 -  -   3
+P1 P0 1   2
+P2 P0 2   1     # slow link
+SW P0 1   inf
+P4 SW 1/2 4
+`
+
+func TestParseText(t *testing.T) {
+	tr, err := ParseTextString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if !tr.IsSwitch(tr.MustLookup("SW")) {
+		t.Fatal("SW not a switch")
+	}
+	if got := tr.CommTime(tr.MustLookup("P4")); !got.Equal(rat.New(1, 2)) {
+		t.Fatalf("comm(P4) = %s", got)
+	}
+	if w, ok := tr.ProcTime(tr.MustLookup("P0")); !ok || !w.Equal(rat.FromInt(3)) {
+		t.Fatalf("proc(P0) = %s %v", w, ok)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"P0 - - 3\nP1":              "want 4 fields",
+		"P0 - - 3\nQ0 - - 2":        "second root",
+		"P0 - 1 3":                  "root must have comm '-'",
+		"P0 - - bogus":              "proc",
+		"P0 - - 3\nP1 P0 bogus 2":   "comm",
+		"P0 - - 3\nP1 P0 1 wat":     "proc",
+		"P0 - - 3\nP1 ZZ 1 2":       "unknown parent",
+		"":                          "no root",
+		"P0 - - 0":                  "processing time",
+		"P0 - - inf\nP1 P0 0 1":     "communication time",
+		"P0 - - 3\nP0 P0 1 1":       "duplicate",
+		"# only comments\n   \n\t ": "no root",
+	}
+	for in, want := range cases {
+		_, err := ParseTextString(in)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseText(%q) err = %v, want containing %q", in, err, want)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	for _, k := range treegen.Kinds {
+		orig := treegen.Generate(k, 25, 3)
+		back, err := ParseTextString(TextString(orig))
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if !orig.Equal(back) {
+			t.Fatalf("%v: text round trip changed the tree", k)
+		}
+	}
+}
+
+func TestWriteTextEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteText(&sb, &tree.Tree{}); err == nil {
+		t.Fatal("empty tree written")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := ParseTextString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(back) {
+		t.Fatal("JSON round trip changed the tree")
+	}
+	if !strings.Contains(string(data), `"proc": "inf"`) {
+		t.Fatalf("switch not encoded as inf: %s", data)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := UnmarshalJSON([]byte(`{`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := UnmarshalJSON([]byte(`{"name":"a","proc":"x"}`)); err == nil {
+		t.Fatal("bad proc accepted")
+	}
+	if _, err := UnmarshalJSON([]byte(`{"name":"a","proc":"1","children":[{"name":"b","proc":"1","comm":"zz"}]}`)); err == nil {
+		t.Fatal("bad comm accepted")
+	}
+	if _, err := MarshalJSON(&tree.Tree{}); err == nil {
+		t.Fatal("empty tree marshaled")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	tr, err := ParseTextString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := DOT(tr, func(id tree.NodeID) bool { return tr.Name(id) == "P1" })
+	for _, frag := range []string{
+		"digraph platform",
+		`"P0" -> "P1" [label="1"]`,
+		`w=inf`,
+		`"P1" [label="P1\nw=2", style=filled`,
+		`"SW" -> "P4" [label="1/2"]`,
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	// Without highlight no fill styles appear.
+	plain := DOT(tr, nil)
+	if strings.Contains(plain, "filled") {
+		t.Fatal("unhighlighted DOT has fills")
+	}
+}
+
+func TestDOTWithRates(t *testing.T) {
+	tr, err := ParseTextString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := func(id tree.NodeID) rat.R {
+		if tr.Name(id) == "P1" {
+			return rat.New(1, 2)
+		}
+		return rat.Zero
+	}
+	edge := func(id tree.NodeID) rat.R { return rat.New(1, 3) }
+	dot := DOTWithRates(tr, alpha, edge)
+	for _, frag := range []string{
+		`"P1" [label="P1\nα=1/2", style=filled`,
+		`"P0" [label="P0\nα=0"]`,
+		`"P0" -> "P1" [label="1 / 1/3"]`,
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOTWithRates missing %q:\n%s", frag, dot)
+		}
+	}
+}
