@@ -1,0 +1,26 @@
+# Tier-1 verification: everything a change must pass before merging.
+# `make tier1` = build + tests + vet + race detector on the packages that
+# actually run concurrent code (the distributed protocol, the goroutine
+# runtime, and the observability layer's lock-free paths).
+
+GO ?= go
+
+.PHONY: tier1 build test vet race bench
+
+tier1: build test vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/proto ./internal/runtime ./internal/obs
+
+# Observability overhead benchmarks (EXPERIMENTS.md records the numbers).
+bench:
+	$(GO) test -bench 'BenchmarkObs' -benchmem -run '^$$' .

@@ -369,3 +369,38 @@ func BenchmarkE15Quantize(b *testing.B) {
 	b.ReportMetric(float64(s.TreePeriod().Int64()), "period")
 	b.ReportMetric(100*res.Throughput.Sub(thr).Float64()/res.Throughput.Float64(), "loss-%")
 }
+
+// Observability overhead (PR 1). BenchmarkObsDisabled is the E4 inner
+// loop with the instrumentation compiled in but switched off (nil
+// Observer): its cost over the seed's BenchmarkE4Gantt is the price every
+// un-observed simulation pays — the acceptance bound is <5%.
+// BenchmarkObsEnabled runs the same loop with a live Observer collecting
+// spans, counters and gauges, measuring the full-instrumentation cost.
+func BenchmarkObsDisabled(b *testing.B) {
+	tr := bwc.PaperExampleTree()
+	s, err := bwc.BuildSchedule(bwc.Solve(tr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(115)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsEnabled(b *testing.B) {
+	tr := bwc.PaperExampleTree()
+	s, err := bwc.BuildSchedule(bwc.Solve(tr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ob := bwc.NewObserver()
+		if _, err := bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(115), Obs: ob}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

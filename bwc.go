@@ -48,6 +48,7 @@ import (
 	"bwc/internal/kreaseck"
 	"bwc/internal/lp"
 	"bwc/internal/makespan"
+	"bwc/internal/obs"
 	"bwc/internal/paperexample"
 	"bwc/internal/proto"
 	"bwc/internal/rat"
@@ -166,10 +167,46 @@ func ParseRat(s string) (Rational, error) { return rat.Parse(s) }
 // NewBuilder returns an empty platform builder.
 func NewBuilder() *Builder { return tree.NewBuilder() }
 
+// Observability.
+
+// Observer collects metrics, spans and events from instrumented runs. A
+// nil *Observer disables all instrumentation at the cost of one pointer
+// check per site; pass one (NewObserver) to Solve/SolveDistributed/Verify,
+// or set it on SimOptions.Obs / ExecuteConfig.Obs, then export with
+// WriteChromeTrace (Perfetto-loadable), WritePrometheus (text exposition)
+// or AttachJSONL (streaming event log).
+type Observer = obs.Scope
+
+// ObserverEvent is one emitted event on an Observer's bus.
+type ObserverEvent = obs.Event
+
+// NewObserver returns an enabled Observer.
+func NewObserver() *Observer { return obs.New() }
+
+// MetricsServer is a live HTTP endpoint exposing an Observer's metrics at
+// /metrics (Prometheus text) and the Go profiles under /debug/pprof/.
+type MetricsServer = runtime.MetricsServer
+
+// ServeObserverMetrics starts a MetricsServer for o on addr (":0" picks a
+// free port; the bound address is in the returned server's Addr).
+func ServeObserverMetrics(o *Observer, addr string) (*MetricsServer, error) {
+	return runtime.ServeMetrics(o, addr)
+}
+
 // Solve computes the optimal steady-state throughput and the per-node
 // activity variables with the BW-First procedure (sequential reference
-// implementation).
-func Solve(t *Tree) *Result { return bwfirst.Solve(t) }
+// implementation). An optional Observer records one span per BW-First
+// transaction and the solver's counters.
+func Solve(t *Tree, observe ...*Observer) *Result {
+	return bwfirst.SolveObserved(t, firstObserver(observe))
+}
+
+func firstObserver(o []*Observer) *Observer {
+	if len(o) > 0 {
+		return o[0]
+	}
+	return nil
+}
 
 // SolveBatch scores many platforms concurrently (results in input order) —
 // the bulk evaluation that makes Section 5's topological studies cheap.
@@ -177,8 +214,12 @@ func Solve(t *Tree) *Result { return bwfirst.Solve(t) }
 func SolveBatch(trees []*Tree, workers int) []*Result { return bwfirst.SolveBatch(trees, workers) }
 
 // SolveDistributed runs BW-First as a distributed protocol: one goroutine
-// per node, single-number messages over channels.
-func SolveDistributed(t *Tree) *DistributedResult { return proto.Solve(t) }
+// per node, single-number messages over channels. An optional Observer
+// records one span per transaction plus the protocol message counters
+// (bwc_protocol_messages_total, bwc_visited_nodes).
+func SolveDistributed(t *Tree, observe ...*Observer) *DistributedResult {
+	return proto.SolveObserved(t, firstObserver(observe))
+}
 
 // ProtocolSession keeps one goroutine per node alive across negotiation
 // rounds, enabling the Section 5 dynamic-adaptation pattern: the root
@@ -354,9 +395,11 @@ func PaperExampleTree() *Tree { return paperexample.Tree() }
 
 // Verify cross-checks the three throughput oracles (BW-First, bottom-up
 // reduction, exact LP) on t and the internal invariants of the BW-First
-// result; it returns the agreed throughput.
-func Verify(t *Tree) (Rational, error) {
-	res := bwfirst.Solve(t)
+// result; it returns the agreed throughput. An optional Observer records
+// the BW-First and protocol runs it performs.
+func Verify(t *Tree, observe ...*Observer) (Rational, error) {
+	sc := firstObserver(observe)
+	res := bwfirst.SolveObserved(t, sc)
 	if err := res.CheckInvariants(); err != nil {
 		return rat.Zero, err
 	}
@@ -371,7 +414,7 @@ func Verify(t *Tree) (Rational, error) {
 	if !opt.Equal(res.Throughput) {
 		return rat.Zero, errMismatch("LP", opt, res.Throughput)
 	}
-	dist := proto.Solve(t)
+	dist := proto.SolveObserved(t, sc)
 	if !dist.Throughput.Equal(res.Throughput) {
 		return rat.Zero, errMismatch("distributed protocol", dist.Throughput, res.Throughput)
 	}

@@ -21,6 +21,8 @@
 //	overlay     extract and score tree overlays from a platform graph
 //	upgrade     exact throughput gain per resource speedup
 //	execute     run a real goroutine-backed deployment
+//	obs         run solver + protocol + simulator under full observability
+//	            and export Chrome trace JSON, Prometheus text, JSONL events
 //	makespan    finite-batch makespan vs the steady-state lower bound
 //	infinite    infinite k-ary tree throughput and truncations
 //	gen         generate a synthetic platform
@@ -40,52 +42,69 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main's testable body. Exit codes: 0 success, 1 command error
+// (reported as a structured "bwsched: error:" line), 2 usage, 3 internal
+// error — a library panic converted to a diagnostic instead of a stack
+// trace, so malformed inputs never look like crashes.
+func run(args []string) (code int) {
+	defer func() {
+		if v := recover(); v != nil {
+			fmt.Fprintf(os.Stderr, "bwsched: error: internal: %v\n", v)
+			code = 3
+		}
+	}()
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
 	case "throughput":
-		err = cmdThroughput(args)
+		err = cmdThroughput(rest)
 	case "schedule":
-		err = cmdSchedule(args)
+		err = cmdSchedule(rest)
 	case "simulate":
-		err = cmdSimulate(args)
+		err = cmdSimulate(rest)
 	case "verify":
-		err = cmdVerify(args)
+		err = cmdVerify(rest)
 	case "compare":
-		err = cmdCompare(args)
+		err = cmdCompare(rest)
 	case "gen":
-		err = cmdGen(args)
+		err = cmdGen(rest)
 	case "dot":
-		err = cmdDot(args)
+		err = cmdDot(rest)
 	case "overlay":
-		err = cmdOverlay(args)
+		err = cmdOverlay(rest)
 	case "dynamic":
-		err = cmdDynamic(args)
+		err = cmdDynamic(rest)
 	case "upgrade":
-		err = cmdUpgrade(args)
+		err = cmdUpgrade(rest)
 	case "execute":
-		err = cmdExecute(args)
+		err = cmdExecute(rest)
 	case "makespan":
-		err = cmdMakespan(args)
+		err = cmdMakespan(rest)
 	case "infinite":
-		err = cmdInfinite(args)
+		err = cmdInfinite(rest)
+	case "obs":
+		err = cmdObs(rest)
 	case "example":
 		fmt.Print(bwc.FormatPlatform(bwc.PaperExampleTree()))
 	case "-h", "--help", "help":
 		usage()
 	default:
-		fmt.Fprintf(os.Stderr, "bwsched: unknown command %q\n\n", cmd)
+		fmt.Fprintf(os.Stderr, "bwsched: error: unknown command %q\n\n", cmd)
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bwsched:", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "bwsched: error: %v\n", err)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
@@ -100,8 +119,9 @@ commands:
   overlay    -f graph.txt [-emit greedy]  extract tree overlays from a graph
   dynamic    -f platform.txt -degrade P1=4 -at 120 -lag 40 -stop 400
   upgrade    -f platform.txt [-speedup 2] [-top 5]
-  execute    -f platform.txt -n 100 -scale 2ms    run a real goroutine deployment
+  execute    -f platform.txt -n 100 -scale 2ms [-metrics :8080]
   makespan   -f platform.txt -n 500 [-demand]
+  obs        -f platform.txt [-periods 3] [-metrics -] [-trace-out t.json] [-log-out e.jsonl]
   infinite   -k 2 -w 2 -c 1 [-depth 8]
   gen        -kind uniform -n 30 -seed 1
   dot        -f platform.txt [-used]
@@ -568,11 +588,110 @@ func cmdUpgrade(args []string) error {
 	return nil
 }
 
+// openOut opens path for writing; "-" means stdout (with a no-op close).
+func openOut(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return nopCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+// cmdObs runs the full pipeline — distributed protocol, reference solver,
+// schedule reconstruction, simulation — under one Observer and exports
+// what it collected: Prometheus text (-metrics), Chrome trace-event JSON
+// loadable in Perfetto (-trace-out), streaming JSONL events (-log-out).
+func cmdObs(args []string) error {
+	fs := flag.NewFlagSet("obs", flag.ExitOnError)
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	periods := fs.Int("periods", 3, "simulate this many root periods")
+	stop := fs.String("stop", "", "alternatively: stop delegating at this time (rational)")
+	metrics := fs.String("metrics", "", "write Prometheus metrics to this file ('-' = stdout)")
+	traceOut := fs.String("trace-out", "", "write Chrome trace-event JSON to this file (chrome://tracing, Perfetto)")
+	logOut := fs.String("log-out", "", "stream JSONL events to this file ('-' = stdout)")
+	fs.Parse(args)
+	t, err := loadPlatform(*file)
+	if err != nil {
+		return err
+	}
+	ob := bwc.NewObserver()
+	if *logOut != "" {
+		w, err := openOut(*logOut)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		ob.AttachJSONL(w)
+	}
+
+	dres := bwc.SolveDistributed(t, ob)
+	res := bwc.Solve(t, ob)
+	s, err := bwc.BuildSchedule(res)
+	if err != nil {
+		return err
+	}
+	opt := bwc.SimOptions{Periods: *periods, Obs: ob}
+	if *stop != "" {
+		v, err := bwc.ParseRat(*stop)
+		if err != nil {
+			return err
+		}
+		opt = bwc.SimOptions{Stop: v, Obs: ob}
+	}
+	simRun, err := bwc.Simulate(s, opt)
+	if err != nil {
+		return err
+	}
+	ob.Close() // flush the JSONL stream before exporting
+
+	fmt.Printf("throughput:  %s tasks/unit\n", res.Throughput)
+	fmt.Printf("protocol:    %d messages, %d nodes visited\n", dres.Messages, dres.VisitedCount)
+	fmt.Printf("simulated:   %d tasks over %s time units\n", simRun.Stats.Completed, simRun.Stats.StopAt)
+	fmt.Printf("spans:       %d recorded\n", len(ob.Spans()))
+
+	if *metrics != "" {
+		w, err := openOut(*metrics)
+		if err != nil {
+			return err
+		}
+		if err := ob.WritePrometheus(w); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		if *metrics != "-" {
+			fmt.Printf("metrics:     %s\n", *metrics)
+		}
+	}
+	if *traceOut != "" {
+		w, err := openOut(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := ob.WriteChromeTrace(w); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace:       %s (load in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+	if *logOut != "" && *logOut != "-" {
+		fmt.Printf("events:      %s\n", *logOut)
+	}
+	return nil
+}
+
 func cmdExecute(args []string) error {
 	fs := flag.NewFlagSet("execute", flag.ExitOnError)
 	file := fs.String("f", "-", "platform file ('-' = stdin)")
 	n := fs.Int("n", 100, "batch size")
 	scale := fs.Duration("scale", 2*time.Millisecond, "wall-clock duration per virtual time unit")
+	metricsAddr := fs.String("metrics", "", "serve live /metrics and /debug/pprof/ on this address during the run")
 	fs.Parse(args)
 	t, err := loadPlatform(*file)
 	if err != nil {
@@ -583,7 +702,17 @@ func cmdExecute(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := bwc.Execute(bwc.ExecuteConfig{Schedule: s, Tasks: *n, Scale: *scale})
+	var ob *bwc.Observer
+	if *metricsAddr != "" {
+		ob = bwc.NewObserver()
+		ms, err := bwc.ServeObserverMetrics(ob, *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("metrics:  http://%s/metrics (pprof under /debug/pprof/)\n", ms.Addr)
+	}
+	rep, err := bwc.Execute(bwc.ExecuteConfig{Schedule: s, Tasks: *n, Scale: *scale, Obs: ob})
 	if err != nil {
 		return err
 	}

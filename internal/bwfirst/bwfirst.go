@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strings"
 
+	"bwc/internal/obs"
 	"bwc/internal/rat"
 	"bwc/internal/tree"
 )
@@ -80,6 +81,11 @@ type Result struct {
 	// not visited take no part in the final schedule (their subtree can be
 	// pruned without changing the throughput).
 	VisitedCount int
+
+	// sc and txCtr carry the (possibly disabled) instrumentation of
+	// SolveObserved through the recursion.
+	sc    *obs.Scope
+	txCtr *obs.Counter
 }
 
 // Visited reports whether node id was visited by the procedure.
@@ -112,7 +118,14 @@ func (r *Result) SendRate(child tree.NodeID) rat.R {
 }
 
 // Solve runs the BW-First procedure on t and returns the complete result.
-func Solve(t *tree.Tree) *Result {
+func Solve(t *tree.Tree) *Result { return SolveObserved(t, nil) }
+
+// SolveObserved is Solve with instrumentation: when sc is enabled, every
+// two-phase transaction (the virtual parent's included) becomes one span
+// on the "bwfirst" track, parented under the proposing transaction, and
+// the transaction and visited-node counts are published as metrics. A nil
+// scope costs one nil check.
+func SolveObserved(t *tree.Tree, sc *obs.Scope) *Result {
 	if t.Len() == 0 {
 		return &Result{Tree: t, TMax: rat.Zero, Throughput: rat.Zero}
 	}
@@ -124,19 +137,34 @@ func Solve(t *tree.Tree) *Result {
 	// Virtual parent: t_max = r_root + max child bandwidth (Section 5,
 	// proof of Proposition 2).
 	res.TMax = t.Rate(root).Add(t.MaxChildBandwidth(root))
-	theta := res.visit(root, res.TMax)
+	res.sc = sc
+	if sc.Enabled() {
+		res.txCtr = sc.Registry().Counter("bwc_bwfirst_transactions_total",
+			"closed BW-First transactions (sequential reference)")
+	}
+	span := sc.StartSpan("negotiate "+t.Name(root), "bwfirst", 0)
+	theta := res.visit(root, res.TMax, span)
 	res.Throughput = res.TMax.Sub(theta)
+	sc.EndSpan(span,
+		obs.A("t_max", res.TMax.String()),
+		obs.A("throughput", res.Throughput.String()))
+	res.txCtr.Inc() // the virtual parent's transaction
 	for i := range res.Nodes {
 		if res.Nodes[i].Visited {
 			res.VisitedCount++
 		}
 	}
+	if sc.Enabled() {
+		sc.Registry().Gauge("bwc_bwfirst_visited_nodes",
+			"nodes visited by the sequential BW-First run").Set(int64(res.VisitedCount))
+	}
 	return res
 }
 
 // visit executes Algorithm 1 at node id with proposal lambda and returns
-// the acknowledgment θ.
-func (r *Result) visit(id tree.NodeID, lambda rat.R) rat.R {
+// the acknowledgment θ. span is the transaction that proposed to this
+// node; child transactions are parented under it.
+func (r *Result) visit(id tree.NodeID, lambda rat.R, span obs.SpanID) rat.R {
 	t := r.Tree
 	st := &r.Nodes[id]
 	st.Visited = true
@@ -164,7 +192,10 @@ func (r *Result) visit(id tree.NodeID, lambda rat.R) rat.R {
 		beta := rat.Min(delta, tau.Mul(b))
 		txIdx := len(r.Transactions)
 		r.Transactions = append(r.Transactions, Transaction{Parent: id, Child: c, Beta: beta})
-		thetaC := r.visit(c, beta)
+		txSpan := r.sc.StartSpan("tx "+t.Name(id)+"→"+t.Name(c), "bwfirst", span)
+		thetaC := r.visit(c, beta, txSpan)
+		r.sc.EndSpan(txSpan, obs.A("beta", beta.String()), obs.A("theta", thetaC.String()))
+		r.txCtr.Inc()
 		r.Transactions[txIdx].Theta = thetaC
 		accepted := beta.Sub(thetaC)
 		st.SendRates[pos[c]] = accepted

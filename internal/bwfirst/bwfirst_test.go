@@ -242,7 +242,7 @@ func TestMonotoneInLambda(t *testing.T) {
 	for i := int64(1); i <= 40; i++ {
 		lam := rat.New(i, 8)
 		res := &Result{Tree: tr, Nodes: make([]NodeState, tr.Len())}
-		theta := res.visit(root, lam)
+		theta := res.visit(root, lam, 0)
 		consumed := lam.Sub(theta)
 		if consumed.Less(prev) {
 			t.Fatalf("consumption dropped from %s to %s at λ=%s", prev, consumed, lam)

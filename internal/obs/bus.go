@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on an event or span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// A is a convenience constructor for Attr.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Event is one structured instrumentation record. Virtual is the producer's
+// rational virtual time rendered as a string ("115/9"); it is empty for
+// producers that run on the wall clock only.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	Wall    time.Time `json:"wall"`
+	Virtual string    `json:"virtual,omitempty"`
+	Name    string    `json:"name"`
+	Attrs   []Attr    `json:"attrs,omitempty"`
+}
+
+// Sink consumes events. Emit must not block for long: the producing side
+// may be a scheduling hot loop.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface (a synchronous sink).
+type SinkFunc func(Event)
+
+// Emit calls f.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// AsyncSink decouples producers from a slow inner sink through a buffered
+// channel. When the buffer is full the event is dropped and counted rather
+// than blocking the producer — observability must never stall the
+// scheduler.
+type AsyncSink struct {
+	ch      chan Event
+	dropped atomic.Uint64
+	done    chan struct{}
+}
+
+// NewAsyncSink starts the consuming goroutine. buffer <= 0 defaults to 1024.
+func NewAsyncSink(inner Sink, buffer int) *AsyncSink {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	a := &AsyncSink{ch: make(chan Event, buffer), done: make(chan struct{})}
+	go func() {
+		defer close(a.done)
+		for e := range a.ch {
+			inner.Emit(e)
+		}
+	}()
+	return a
+}
+
+// Emit enqueues the event, dropping it if the buffer is full.
+func (a *AsyncSink) Emit(e Event) {
+	select {
+	case a.ch <- e:
+	default:
+		a.dropped.Add(1)
+	}
+}
+
+// Dropped returns how many events were discarded on overflow.
+func (a *AsyncSink) Dropped() uint64 { return a.dropped.Load() }
+
+// Close drains the buffer and stops the consumer. Emit must not be called
+// after Close.
+func (a *AsyncSink) Close() {
+	close(a.ch)
+	<-a.done
+}
+
+// JSONLSink writes each event as one JSON line. Safe for concurrent use.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one line; encoding errors are deliberately swallowed (an
+// observability sink must not fail the run).
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(e)
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"bwc/internal/rat"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format. Complete
+// spans use ph "X"; metadata (process/thread names) uses ph "M".
+// Timestamps are fractional microseconds, which both chrome://tracing and
+// Perfetto accept.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	// Dur must always be present on "X" events — viewers treat a missing
+	// dur as malformed, and zero-width spans (instant batches) are legal.
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace file.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// micro maps the scope's rational time axis (unit: one second) to
+// fractional microseconds.
+func micro(v rat.R) float64 { return v.Float64() * 1e6 }
+
+// WriteChromeTrace renders every recorded span as a Chrome trace-event
+// JSON document loadable in chrome://tracing and Perfetto. Each distinct
+// span Track becomes one named thread lane (in first-appearance order);
+// span attributes and parent causality are carried in args.
+func (s *Scope) WriteChromeTrace(w io.Writer) error {
+	if s == nil {
+		_, err := w.Write([]byte(`{"traceEvents":[],"displayTimeUnit":"ms"}` + "\n"))
+		return err
+	}
+	spans := s.Spans()
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]any{"name": "bwc"}},
+	}}
+	tids := map[string]int{}
+	tidOf := func(track string) int {
+		if id, ok := tids[track]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[track] = id
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+			Args: map[string]any{"name": track},
+		})
+		return id
+	}
+	for _, sp := range spans {
+		args := map[string]any{
+			"start": sp.Start.String(),
+			"end":   sp.End.String(),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = int64(sp.Parent)
+		}
+		args["span"] = int64(sp.ID)
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		end := sp.End
+		if end.Less(sp.Start) { // never closed: render as instant
+			end = sp.Start
+		}
+		dur := micro(end.Sub(sp.Start))
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Cat:  "bwc",
+			Ph:   "X",
+			Ts:   micro(sp.Start),
+			Dur:  &dur,
+			Pid:  1,
+			Tid:  tidOf(sp.Track),
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bwc/internal/rat"
+)
+
+func TestWritePrometheusText(t *testing.T) {
+	s := New()
+	r := s.Registry()
+	r.Counter("bwc_protocol_messages_total", "protocol messages exchanged").Add(16)
+	r.Gauge("bwc_visited_nodes", "nodes visited by BW-First").Set(8)
+	r.GaugeLabeled("bwc_node_buffer_max_tasks", "peak buffered tasks", "node", "P1").Set(3)
+	r.GaugeLabeled("bwc_node_buffer_max_tasks", "peak buffered tasks", "node", `we"ird\n`).Set(1)
+	h := r.Histogram("bwc_sim_batch_events", "events per DES batch", []float64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := s.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"# HELP bwc_protocol_messages_total protocol messages exchanged",
+		"# TYPE bwc_protocol_messages_total counter",
+		"bwc_protocol_messages_total 16",
+		"# TYPE bwc_visited_nodes gauge",
+		"bwc_visited_nodes 8",
+		`bwc_node_buffer_max_tasks{node="P1"} 3`,
+		`bwc_node_buffer_max_tasks{node="we\"ird\\n"} 1`,
+		"# TYPE bwc_sim_batch_events histogram",
+		`bwc_sim_batch_events_bucket{le="1"} 1`,
+		`bwc_sim_batch_events_bucket{le="2"} 1`,
+		`bwc_sim_batch_events_bucket{le="4"} 2`,
+		`bwc_sim_batch_events_bucket{le="+Inf"} 2`,
+		"bwc_sim_batch_events_sum 4",
+		"bwc_sim_batch_events_count 2",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("prometheus text missing %q:\n%s", frag, out)
+		}
+	}
+	// Every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	s := New()
+	now := rat.Zero
+	s.SetClock(func() rat.R { return now })
+	root := s.StartSpan("negotiate", "proto", 0)
+	now = rat.New(1, 2)
+	tx := s.StartSpan("tx P0→P1", "proto", root)
+	now = rat.One
+	s.EndSpan(tx, A("beta", "1/2"))
+	s.EndSpan(root)
+	s.AddSpan(Span{Name: "compute", Track: "P1/C", Start: rat.New(3, 2), End: rat.New(5, 2)})
+
+	var sb strings.Builder
+	if err := s.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	var complete, meta int
+	threadNames := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			complete++
+			if e["ts"].(float64) < 0 {
+				t.Fatalf("negative ts in %v", e)
+			}
+		case "M":
+			meta++
+			if e["name"] == "thread_name" {
+				args := e["args"].(map[string]any)
+				threadNames[args["name"].(string)] = true
+			}
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("complete events = %d, want 3", complete)
+	}
+	for _, track := range []string{"proto", "P1/C"} {
+		if !threadNames[track] {
+			t.Fatalf("missing thread_name for track %q (have %v)", track, threadNames)
+		}
+	}
+	// The tx span: ts 0.5s -> 500000µs, dur 0.5s -> 500000µs, parented.
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "tx P0→P1" {
+			if e["ts"].(float64) != 500000 || e["dur"].(float64) != 500000 {
+				t.Fatalf("tx timing %v", e)
+			}
+			args := e["args"].(map[string]any)
+			if args["parent"].(float64) != float64(root) {
+				t.Fatalf("tx parent %v", args)
+			}
+			if args["beta"] != "1/2" {
+				t.Fatalf("tx attrs %v", args)
+			}
+		}
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	s := New()
+	s.AttachJSONL(&sb)
+	s.Emit("tx", A("beta", "10/9"), A("theta", "0"))
+	s.Emit("complete")
+	s.Close()
+
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var events []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 {
+		t.Fatalf("lines = %d", len(events))
+	}
+	if events[0].Name != "tx" || len(events[0].Attrs) != 2 || events[0].Attrs[0].Value != "10/9" {
+		t.Fatalf("event %+v", events[0])
+	}
+	if events[0].Seq == events[1].Seq {
+		t.Fatal("seq not unique")
+	}
+	if events[0].Virtual == "" {
+		t.Fatal("virtual timestamp missing")
+	}
+}

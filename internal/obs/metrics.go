@@ -1,0 +1,377 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use and are no-ops on a nil receiver, so hot loops
+// can hold a possibly-nil *Counter and pay a single nil check per event.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer metric that can go up and down (buffer occupancy,
+// visited-node counts). Nil receivers are no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// SetMax raises the gauge to v if v is larger (a running maximum).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram over float64 observations. Bucket
+// bounds are upper bounds (le) in increasing order; an implicit +Inf bucket
+// catches the rest. Observations are lock-free; nil receivers are no-ops.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, cumulative only at snapshot time
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// metricKind tags registry entries for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterVec
+	kindGaugeVec
+)
+
+// vec holds the labeled children of a counter or gauge family.
+type vec struct {
+	label    string
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// metric is one registered metric family.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	ctr  *Counter
+	gge  *Gauge
+	hist *Histogram
+	vec  *vec
+}
+
+// Registry holds named metrics. Registration takes a lock; the returned
+// Counter/Gauge/Histogram handles are lock-free. Registering the same name
+// twice returns the same instrument (so independent producers can share
+// bwc_protocol_messages_total). Nil receivers return nil instruments, whose
+// methods are in turn no-ops — the disabled fast path.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+func (r *Registry) lookup(name, help string, kind metricKind) *metric {
+	m, ok := r.byName[name]
+	if ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m = &metric{name: name, help: help, kind: kind}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, kindCounter)
+	if m.ctr == nil {
+		m.ctr = &Counter{}
+	}
+	return m.ctr
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, kindGauge)
+	if m.gge == nil {
+		m.gge = &Gauge{}
+	}
+	return m.gge
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram. bounds must be
+// increasing; they are captured on first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, kindHistogram)
+	if m.hist == nil {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not increasing", name))
+			}
+		}
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(bounds)+1)
+		m.hist = h
+	}
+	return m.hist
+}
+
+// CounterLabeled registers (or finds) the child of a labeled counter
+// family, e.g. CounterLabeled("bwc_tasks_total", "...", "node", "P3").
+func (r *Registry) CounterLabeled(name, help, label, value string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	m := r.lookup(name, help, kindCounterVec)
+	if m.vec == nil {
+		m.vec = &vec{label: label, counters: map[string]*Counter{}}
+	}
+	v := m.vec
+	r.mu.Unlock()
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.counters[value]
+	if !ok {
+		c = &Counter{}
+		v.counters[value] = c
+	}
+	return c
+}
+
+// GaugeLabeled registers (or finds) the child of a labeled gauge family.
+func (r *Registry) GaugeLabeled(name, help, label, value string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	m := r.lookup(name, help, kindGaugeVec)
+	if m.vec == nil {
+		m.vec = &vec{label: label, gauges: map[string]*Gauge{}}
+	}
+	v := m.vec
+	r.mu.Unlock()
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.gauges[value]
+	if !ok {
+		g = &Gauge{}
+		v.gauges[value] = g
+	}
+	return g
+}
+
+// Point is one exported sample in a Snapshot.
+type Point struct {
+	// Label/LabelValue are empty for unlabeled metrics.
+	Label      string
+	LabelValue string
+	Value      float64
+}
+
+// HistogramPoint is one exported histogram in a Snapshot.
+type HistogramPoint struct {
+	Bounds []float64 // upper bounds, +Inf implicit
+	Counts []int64   // per-bucket (not cumulative), len(Bounds)+1
+	Sum    float64
+	Count  int64
+}
+
+// Metric is one metric family in a Snapshot.
+type Metric struct {
+	Name      string
+	Help      string
+	Type      string // "counter", "gauge" or "histogram"
+	Points    []Point
+	Histogram *HistogramPoint // non-nil only for histograms
+}
+
+// Snapshot returns a point-in-time copy of every registered metric, in
+// registration order with labeled children sorted by label value. Each
+// instrument is read atomically (the snapshot as a whole is not a single
+// atomic cut, which is fine for monitoring).
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ordered := append([]*metric(nil), r.ordered...)
+	r.mu.Unlock()
+
+	out := make([]Metric, 0, len(ordered))
+	for _, m := range ordered {
+		e := Metric{Name: m.name, Help: m.help}
+		switch m.kind {
+		case kindCounter:
+			e.Type = "counter"
+			e.Points = []Point{{Value: float64(m.ctr.Value())}}
+		case kindGauge:
+			e.Type = "gauge"
+			e.Points = []Point{{Value: float64(m.gge.Value())}}
+		case kindHistogram:
+			e.Type = "histogram"
+			h := m.hist
+			hp := &HistogramPoint{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+				Sum:    h.Sum(),
+				Count:  h.Count(),
+			}
+			for i := range h.counts {
+				hp.Counts[i] = h.counts[i].Load()
+			}
+			e.Histogram = hp
+		case kindCounterVec, kindGaugeVec:
+			e.Type = "counter"
+			if m.kind == kindGaugeVec {
+				e.Type = "gauge"
+			}
+			v := m.vec
+			v.mu.Lock()
+			var keys []string
+			for k := range v.counters {
+				keys = append(keys, k)
+			}
+			for k := range v.gauges {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				var val float64
+				if m.kind == kindCounterVec {
+					val = float64(v.counters[k].Value())
+				} else {
+					val = float64(v.gauges[k].Value())
+				}
+				e.Points = append(e.Points, Point{Label: v.label, LabelValue: k, Value: val})
+			}
+			v.mu.Unlock()
+		}
+		out = append(out, e)
+	}
+	return out
+}

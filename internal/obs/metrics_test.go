@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("c_total", "a counter") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	g.SetMax(2)
+	if g.Value() != 4 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatal("SetMax did not raise the gauge")
+	}
+}
+
+func TestCounterPanicsOnNegativeAdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewRegistry().Counter("c", "").Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 111.5 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Histogram == nil {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	hp := snap[0].Histogram
+	// le=1 catches 0.5 and 1 (upper bounds are inclusive), le=5 catches 3,
+	// le=10 catches 7, +Inf catches 100.
+	want := []int64{2, 1, 1, 1}
+	for i, n := range want {
+		if hp.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, hp.Counts[i], n, hp.Counts)
+		}
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterLabeled("tasks_total", "per node", "node", "P1")
+	b := r.CounterLabeled("tasks_total", "per node", "node", "P0")
+	if a == b {
+		t.Fatal("distinct labels share a counter")
+	}
+	if r.CounterLabeled("tasks_total", "per node", "node", "P1") != a {
+		t.Fatal("same label returned a new counter")
+	}
+	a.Add(3)
+	b.Inc()
+	g := r.GaugeLabeled("buf", "", "node", "P1")
+	g.Set(42)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("families = %d", len(snap))
+	}
+	// Children sorted by label value: P0 before P1.
+	pts := snap[0].Points
+	if len(pts) != 2 || pts[0].LabelValue != "P0" || pts[0].Value != 1 || pts[1].LabelValue != "P1" || pts[1].Value != 3 {
+		t.Fatalf("points %+v", pts)
+	}
+	if snap[1].Type != "gauge" || snap[1].Points[0].Value != 42 {
+		t.Fatalf("gauge family %+v", snap[1])
+	}
+}
+
+// TestConcurrentInstruments exercises the lock-free paths under the race
+// detector: concurrent Inc/Observe/SetMax plus snapshotting.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2, 4, 8})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(int64(w*per + i))
+				h.Observe(float64(i % 10))
+				r.CounterLabeled("v", "", "node", "n").Inc()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if g.Value() != workers*per-1 {
+		t.Fatalf("gauge max = %d", g.Value())
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	if n := r.CounterLabeled("v", "", "node", "n").Value(); n != workers*per {
+		t.Fatalf("labeled counter = %d", n)
+	}
+}

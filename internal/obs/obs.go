@@ -1,0 +1,263 @@
+// Package obs is the unified observability layer of the repository: a
+// typed event bus, a metrics registry (counters, gauges, fixed-bucket
+// histograms, labeled families) and causal span tracing, with exporters
+// for the Chrome trace-event format (chrome://tracing / Perfetto), the
+// Prometheus text exposition format, and JSONL structured logs.
+//
+// It is built for two regimes:
+//
+//   - Disabled (the default): every producer holds a nil *Scope, and every
+//     instrumentation call is a method on a nil receiver that returns
+//     immediately — the hot loops of the simulator and the protocol pay
+//     roughly one nil check per potential event.
+//   - Enabled: instruments are registered once up front and the per-event
+//     cost is an atomic add (metrics), a mutex-guarded append (spans) or a
+//     non-blocking channel send (async sinks, with drop counting).
+//
+// Time is rational, like everything else in this repository. Spans and
+// events carry exact rat.R timestamps on a scope-wide virtual axis whose
+// unit is one second: the discrete-event simulator stamps spans with its
+// virtual clock directly, while wall-clock producers (the distributed
+// protocol, the real execution engine) use the default clock, which
+// returns the exact time since the scope was created. The Chrome exporter
+// maps this axis to microseconds.
+package obs
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bwc/internal/rat"
+)
+
+// SpanID identifies a span within one Scope. Zero means "no span" (the
+// root of the causality forest).
+type SpanID int64
+
+// Span is one timed operation: a BW-First transaction, a DES event batch,
+// a link transfer, a Gantt interval.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	// Name is the operation ("tx P0→P1", "batch", "compute").
+	Name string
+	// Track groups spans into one horizontal lane of the trace viewer
+	// ("proto", "P3/C", "link P0→P1").
+	Track string
+	// Start and End are on the scope's virtual time axis (unit: seconds).
+	Start rat.R
+	End   rat.R
+	Attrs []Attr
+}
+
+// Scope is one observability session: a registry, a span store and a set
+// of event sinks shared by every producer of one run (or of one process).
+// The nil *Scope is the disabled state: every method is a cheap no-op, so
+// call sites need no conditional instrumentation.
+type Scope struct {
+	start time.Time
+
+	mu    sync.Mutex
+	reg   *Registry
+	spans []Span
+	clock func() rat.R
+
+	seq   atomic.Uint64
+	sinks atomic.Pointer[[]Sink]
+	async []*AsyncSink
+}
+
+// New returns an enabled Scope with an empty registry and the wall clock.
+func New() *Scope {
+	return &Scope{start: time.Now(), reg: NewRegistry()}
+}
+
+// Enabled reports whether the scope records anything.
+func (s *Scope) Enabled() bool { return s != nil }
+
+// Registry returns the scope's metrics registry (nil when disabled; a nil
+// Registry hands out nil instruments whose methods are no-ops).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// SetClock installs a virtual clock (e.g. the DES engine's Now). Passing
+// nil restores the default wall clock. Producers that own a virtual time
+// axis should set it for the duration of their run and restore it after.
+func (s *Scope) SetClock(fn func() rat.R) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.clock = fn
+	s.mu.Unlock()
+}
+
+// Now returns the current time on the scope's virtual axis: the installed
+// clock if any, otherwise the exact seconds since the scope was created.
+func (s *Scope) Now() rat.R {
+	if s == nil {
+		return rat.Zero
+	}
+	s.mu.Lock()
+	fn := s.clock
+	s.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return rat.New(time.Since(s.start).Nanoseconds(), 1_000_000_000)
+}
+
+// StartSpan opens a span at Now. parent 0 makes it a root of the causality
+// forest. The returned ID is passed to EndSpan and used as the parent of
+// child spans.
+func (s *Scope) StartSpan(name, track string, parent SpanID) SpanID {
+	if s == nil {
+		return 0
+	}
+	at := s.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := SpanID(len(s.spans) + 1)
+	s.spans = append(s.spans, Span{ID: id, Parent: parent, Name: name, Track: track, Start: at, End: at})
+	return id
+}
+
+// EndSpan closes the span at Now and appends attrs. Unknown or zero IDs
+// are ignored.
+func (s *Scope) EndSpan(id SpanID, attrs ...Attr) {
+	if s == nil || id == 0 {
+		return
+	}
+	at := s.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) > len(s.spans) {
+		return
+	}
+	sp := &s.spans[id-1]
+	sp.End = at
+	sp.Attrs = append(sp.Attrs, attrs...)
+}
+
+// AddSpan records a complete span with explicit times (used by producers
+// that know exact interval bounds, like the simulator's Gantt intervals).
+// It returns the assigned ID so callers can parent further spans under it.
+func (s *Scope) AddSpan(sp Span) SpanID {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp.ID = SpanID(len(s.spans) + 1)
+	s.spans = append(s.spans, sp)
+	return sp.ID
+}
+
+// Spans returns a copy of every recorded span in creation order.
+func (s *Scope) Spans() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Span(nil), s.spans...)
+}
+
+// SpansOnTrack returns the recorded spans whose Track equals track.
+func (s *Scope) SpansOnTrack(track string) []Span {
+	var out []Span
+	for _, sp := range s.Spans() {
+		if sp.Track == track {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Attach adds a sink. Attach before producing events: the sink list is
+// copied on write and read without locks on the emit path.
+func (s *Scope) Attach(sink Sink) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.sinks.Load()
+	var next []Sink
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, sink)
+	s.sinks.Store(&next)
+	if a, ok := sink.(*AsyncSink); ok {
+		s.async = append(s.async, a)
+	}
+}
+
+// AttachJSONL streams events as JSON lines to w through a buffered async
+// sink (observability never blocks the scheduler; overflow is counted, see
+// Dropped). Close the scope to flush.
+func (s *Scope) AttachJSONL(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.Attach(NewAsyncSink(NewJSONLSink(w), 4096))
+}
+
+// Emit publishes an event to every attached sink. With no sinks attached
+// the cost is one atomic load.
+func (s *Scope) Emit(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	sinks := s.sinks.Load()
+	if sinks == nil || len(*sinks) == 0 {
+		return
+	}
+	e := Event{
+		Seq:     s.seq.Add(1),
+		Wall:    time.Now(),
+		Virtual: s.Now().String(),
+		Name:    name,
+		Attrs:   attrs,
+	}
+	for _, sink := range *sinks {
+		sink.Emit(e)
+	}
+}
+
+// Dropped sums the overflow drops of every attached async sink.
+func (s *Scope) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, a := range s.async {
+		n += a.Dropped()
+	}
+	return n
+}
+
+// Close drains and stops every attached async sink. The scope's metrics
+// and spans remain readable after Close.
+func (s *Scope) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	async := s.async
+	s.async = nil
+	s.sinks.Store(nil)
+	s.mu.Unlock()
+	for _, a := range async {
+		a.Close()
+	}
+}

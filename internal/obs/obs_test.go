@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bwc/internal/rat"
+)
+
+// TestNilScopeNoops: the disabled state is a nil *Scope; every method must
+// be a safe no-op so call sites need no conditionals.
+func TestNilScopeNoops(t *testing.T) {
+	var s *Scope
+	if s.Enabled() {
+		t.Fatal("nil scope enabled")
+	}
+	s.SetClock(func() rat.R { return rat.One })
+	if !s.Now().IsZero() {
+		t.Fatal("nil Now != 0")
+	}
+	if id := s.StartSpan("x", "t", 0); id != 0 {
+		t.Fatalf("nil StartSpan = %d", id)
+	}
+	s.EndSpan(1)
+	if id := s.AddSpan(Span{}); id != 0 {
+		t.Fatalf("nil AddSpan = %d", id)
+	}
+	if s.Spans() != nil {
+		t.Fatal("nil Spans != nil")
+	}
+	s.Attach(SinkFunc(func(Event) {}))
+	s.AttachJSONL(&strings.Builder{})
+	s.Emit("e")
+	if s.Dropped() != 0 {
+		t.Fatal("nil Dropped != 0")
+	}
+	s.Close()
+	if err := s.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := s.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "traceEvents") {
+		t.Fatalf("nil chrome trace: %q", sb.String())
+	}
+
+	// Nil registry and nil instruments are no-ops too.
+	reg := s.Registry()
+	if reg != nil {
+		t.Fatal("nil scope has a registry")
+	}
+	c := reg.Counter("c", "")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter counted")
+	}
+	g := reg.Gauge("g", "")
+	g.Set(3)
+	g.Add(-1)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge moved")
+	}
+	h := reg.Histogram("h", "", []float64{1, 2})
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram observed")
+	}
+	if reg.CounterLabeled("cv", "", "node", "P0") != nil {
+		t.Fatal("nil registry returned a labeled counter")
+	}
+	if reg.GaugeLabeled("gv", "", "node", "P0") != nil {
+		t.Fatal("nil registry returned a labeled gauge")
+	}
+	if reg.Snapshot() != nil {
+		t.Fatal("nil snapshot")
+	}
+}
+
+// TestSpanCausality: StartSpan/EndSpan build a parent/child forest with
+// times from the installed virtual clock.
+func TestSpanCausality(t *testing.T) {
+	s := New()
+	now := rat.Zero
+	s.SetClock(func() rat.R { return now })
+
+	root := s.StartSpan("negotiate", "proto", 0)
+	now = rat.One
+	child := s.StartSpan("tx", "proto", root)
+	now = rat.Two
+	s.EndSpan(child, A("beta", "10/9"))
+	now = rat.New(3, 1)
+	s.EndSpan(root)
+
+	spans := s.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].ID != root || spans[0].Parent != 0 || !spans[0].Start.IsZero() || !spans[0].End.Equal(rat.New(3, 1)) {
+		t.Fatalf("root span %+v", spans[0])
+	}
+	if spans[1].Parent != root || !spans[1].Start.Equal(rat.One) || !spans[1].End.Equal(rat.Two) {
+		t.Fatalf("child span %+v", spans[1])
+	}
+	if len(spans[1].Attrs) != 1 || spans[1].Attrs[0] != A("beta", "10/9") {
+		t.Fatalf("attrs %+v", spans[1].Attrs)
+	}
+	if got := s.SpansOnTrack("proto"); len(got) != 2 {
+		t.Fatalf("track filter = %d spans", len(got))
+	}
+	// Unknown and zero IDs are ignored.
+	s.EndSpan(0)
+	s.EndSpan(999)
+}
+
+// TestDefaultClockAdvances: without SetClock the axis is wall seconds
+// since scope creation.
+func TestDefaultClockAdvances(t *testing.T) {
+	s := New()
+	a := s.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := s.Now()
+	if !a.Less(b) {
+		t.Fatalf("clock did not advance: %s then %s", a, b)
+	}
+	if b.Less(rat.Zero) || rat.One.Less(b) {
+		t.Fatalf("implausible wall reading %s", b)
+	}
+}
+
+// TestEmitFanout: events reach every sink, stamped with increasing seq.
+func TestEmitFanout(t *testing.T) {
+	s := New()
+	var got1, got2 []Event
+	s.Attach(SinkFunc(func(e Event) { got1 = append(got1, e) }))
+	s.Attach(SinkFunc(func(e Event) { got2 = append(got2, e) }))
+	s.Emit("a", A("k", "v"))
+	s.Emit("b")
+	if len(got1) != 2 || len(got2) != 2 {
+		t.Fatalf("fanout %d/%d", len(got1), len(got2))
+	}
+	if got1[0].Name != "a" || got1[0].Attrs[0] != A("k", "v") {
+		t.Fatalf("event %+v", got1[0])
+	}
+	if got1[0].Seq >= got1[1].Seq {
+		t.Fatalf("seq not increasing: %d then %d", got1[0].Seq, got1[1].Seq)
+	}
+}
+
+// TestAsyncSinkDropCounting: a full buffer drops (never blocks) and counts
+// the drops; after Close everything still in the buffer was delivered.
+func TestAsyncSinkDropCounting(t *testing.T) {
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	delivered := 0
+	inner := SinkFunc(func(Event) {
+		<-gate
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	a := NewAsyncSink(inner, 4)
+	const emitted = 50
+	for i := 0; i < emitted; i++ {
+		a.Emit(Event{Seq: uint64(i)})
+	}
+	// Consumer is stuck before the gate: at most buffer+1 events are in
+	// flight, the rest must have been dropped.
+	if a.Dropped() < emitted-5 {
+		t.Fatalf("dropped = %d, want >= %d", a.Dropped(), emitted-5)
+	}
+	close(gate)
+	a.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if uint64(delivered)+a.Dropped() != emitted {
+		t.Fatalf("delivered %d + dropped %d != emitted %d", delivered, a.Dropped(), emitted)
+	}
+}
+
+// TestScopeCloseFlushesAsync: Close drains attached async sinks, and
+// Dropped aggregates their overflow counts.
+func TestScopeCloseFlushesAsync(t *testing.T) {
+	s := New()
+	var mu sync.Mutex
+	var names []string
+	s.Attach(NewAsyncSink(SinkFunc(func(e Event) {
+		mu.Lock()
+		names = append(names, e.Name)
+		mu.Unlock()
+	}), 64))
+	for i := 0; i < 10; i++ {
+		s.Emit("e")
+	}
+	s.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(names) != 10 {
+		t.Fatalf("flushed %d of 10", len(names))
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("dropped %d", s.Dropped())
+	}
+	// After Close the sink list is cleared: Emit is a no-op, not a panic.
+	s.Emit("late")
+}
+
+// TestEmitWithoutSinks is the fast path: no sinks, no allocation-heavy
+// event construction (just an atomic load and return).
+func TestEmitWithoutSinks(t *testing.T) {
+	s := New()
+	allocs := testing.AllocsPerRun(100, func() { s.Emit("e") })
+	if allocs != 0 {
+		t.Fatalf("Emit with no sinks allocates %.1f per call", allocs)
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the scope's metrics in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, one sample
+// per line, histograms as cumulative _bucket{le=...} series plus _sum and
+// _count. Output order is registration order, labeled children sorted by
+// label value — deterministic, so tests can compare runs.
+func (s *Scope) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	for _, m := range s.Registry().Snapshot() {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+			return err
+		}
+		if m.Histogram != nil {
+			h := m.Histogram
+			cum := int64(0)
+			for i, b := range h.Bounds {
+				cum += h.Counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.Name, h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.Name, formatFloat(h.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", m.Name, h.Count); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, p := range m.Points {
+			name := m.Name
+			if p.Label != "" {
+				name = fmt.Sprintf("%s{%s=\"%s\"}", m.Name, p.Label, escapeLabel(p.LabelValue))
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus expects: integers without
+// a decimal point, everything else in shortest form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes backslash, double quote and newline per the text
+// exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}

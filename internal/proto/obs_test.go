@@ -1,0 +1,57 @@
+package proto
+
+import (
+	"testing"
+
+	"bwc/internal/obs"
+	"bwc/internal/treegen"
+)
+
+// TestE9InvariantAllFamilies: the protocol-cost claim of the paper's
+// Section 5 experiment — exactly two messages per visited node (one
+// proposal, one acknowledgment, the virtual parent's pair included) —
+// must hold on every synthetic platform family, and the deduplicated
+// counting path must keep the Result field and the exported metric in
+// lockstep.
+func TestE9InvariantAllFamilies(t *testing.T) {
+	for _, kind := range treegen.Kinds {
+		for _, n := range []int{1, 2, 7, 23} {
+			tr := treegen.Generate(kind, n, 42)
+			sc := obs.New()
+			res := SolveObserved(tr, sc)
+
+			if res.Messages != 2*res.VisitedCount {
+				t.Errorf("%s/%d: %d messages for %d visited nodes (want 2x)",
+					kind, n, res.Messages, res.VisitedCount)
+			}
+			reg := sc.Registry()
+			if m := reg.Counter("bwc_protocol_messages_total", "").Value(); m != int64(res.Messages) {
+				t.Errorf("%s/%d: metric %d != Result.Messages %d", kind, n, m, res.Messages)
+			}
+			if v := reg.Gauge("bwc_visited_nodes", "").Value(); v != int64(res.VisitedCount) {
+				t.Errorf("%s/%d: gauge %d != VisitedCount %d", kind, n, v, res.VisitedCount)
+			}
+			if tx := reg.Counter("bwc_protocol_transactions_total", "").Value(); tx != int64(res.VisitedCount) {
+				t.Errorf("%s/%d: %d transactions for %d visited nodes", kind, n, tx, res.VisitedCount)
+			}
+			// One span per transaction, i.e. per visited node.
+			if spans := sc.SpansOnTrack("proto"); len(spans) != res.VisitedCount {
+				t.Errorf("%s/%d: %d proto spans, want %d", kind, n, len(spans), res.VisitedCount)
+			}
+		}
+	}
+}
+
+// TestObservedAgreesWithPlain: instrumentation must not change the
+// negotiated numbers.
+func TestObservedAgreesWithPlain(t *testing.T) {
+	for _, kind := range treegen.Kinds {
+		tr := treegen.Generate(kind, 15, 7)
+		plain := Solve(tr)
+		watched := SolveObserved(tr, obs.New())
+		if !plain.Throughput.Equal(watched.Throughput) || plain.Messages != watched.Messages {
+			t.Fatalf("%s: observed run diverged: %s/%d vs %s/%d", kind,
+				watched.Throughput, watched.Messages, plain.Throughput, plain.Messages)
+		}
+	}
+}

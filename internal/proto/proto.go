@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 
+	"bwc/internal/obs"
 	"bwc/internal/rat"
 	"bwc/internal/tree"
 )
@@ -39,9 +40,21 @@ type Result struct {
 	Visited   []bool
 	// Messages is the total number of protocol messages exchanged
 	// (proposals + acknowledgments, including the virtual parent's pair).
+	// It is derived from the single counting path countMsg, which also
+	// feeds the bwc_protocol_messages_total metric, so the E9 report and
+	// the exported metric can never disagree.
 	Messages int
 	// VisitedCount is the number of nodes that took part.
 	VisitedCount int
+}
+
+// countMsg is the one place a protocol message is counted: it bumps the
+// round's Result and the session's metric counter together. Accesses are
+// ordered by the proposal/acknowledgment chain exactly like the other
+// Result fields (the counter itself is additionally atomic).
+func (s *Session) countMsg() {
+	s.res.Messages++
+	s.msgCtr.Inc()
 }
 
 // nodeActor is one platform node's goroutine state. All fields other than
@@ -67,12 +80,40 @@ type Session struct {
 	// res is the round currently being filled in. Actors access their own
 	// indices only, between receiving a proposal and sending the ack.
 	res *Result
+
+	// sc is the (possibly disabled) observability scope; msgCtr, txCtr and
+	// visitedG are its pre-registered instruments (nil-safe no-ops when
+	// disabled). txSpan[id] is the open span of the transaction proposing
+	// to node id; like res, it is handed between parent and child by the
+	// proposal/ack channel pair.
+	sc       *obs.Scope
+	msgCtr   *obs.Counter
+	txCtr    *obs.Counter
+	visitedG *obs.Gauge
+	txSpan   []obs.SpanID
 }
 
 // NewSession spawns one goroutine per node of t. Close must be called to
 // release them.
-func NewSession(t *tree.Tree) *Session {
-	s := &Session{t: t, quit: make(chan struct{})}
+func NewSession(t *tree.Tree) *Session { return NewSessionObserved(t, nil) }
+
+// NewSessionObserved is NewSession with instrumentation: when sc is
+// enabled, every transaction of every round becomes a span on the "proto"
+// track (parented along the proposal chain), and the session publishes
+// bwc_protocol_messages_total, bwc_protocol_transactions_total and
+// bwc_visited_nodes. A nil scope adds one nil check per message.
+func NewSessionObserved(t *tree.Tree, sc *obs.Scope) *Session {
+	s := &Session{t: t, quit: make(chan struct{}), sc: sc}
+	if sc.Enabled() {
+		reg := sc.Registry()
+		s.msgCtr = reg.Counter("bwc_protocol_messages_total",
+			"protocol messages exchanged (proposals + acknowledgments, virtual parent included)")
+		s.txCtr = reg.Counter("bwc_protocol_transactions_total",
+			"closed BW-First transactions (distributed protocol, virtual parent included)")
+		s.visitedG = reg.Gauge("bwc_visited_nodes",
+			"nodes visited by the last BW-First negotiation round")
+		s.txSpan = make([]obs.SpanID, t.Len())
+	}
 	s.actors = make([]*nodeActor, t.Len())
 	for id := 0; id < t.Len(); id++ {
 		s.actors[id] = &nodeActor{
@@ -121,15 +162,29 @@ func (s *Session) Run() *Result {
 	s.res = res
 	root := s.actors[t.Root()]
 	res.TMax = t.Rate(t.Root()).Add(t.MaxChildBandwidth(t.Root()))
-	root.proposal <- res.TMax // the virtual parent's proposal
+	span := s.sc.StartSpan("negotiate "+t.Name(t.Root()), "proto", 0)
+	if s.txSpan != nil {
+		s.txSpan[t.Root()] = span
+	}
+	s.countMsg()              // the virtual parent's proposal...
+	root.proposal <- res.TMax // ...sent
 	theta := <-root.ack
+	s.countMsg() // ...and its acknowledgment
 	res.Throughput = res.TMax.Sub(theta)
-	res.Messages += 2 // the virtual parent's pair
+	s.sc.EndSpan(span,
+		obs.A("t_max", res.TMax.String()),
+		obs.A("throughput", res.Throughput.String()))
+	s.txCtr.Inc()
 	for id := range res.Visited {
 		if res.Visited[id] {
 			res.VisitedCount++
 		}
 	}
+	s.visitedG.Set(int64(res.VisitedCount))
+	s.sc.Emit("negotiate",
+		obs.A("throughput", res.Throughput.String()),
+		obs.A("messages", fmt.Sprint(res.Messages)),
+		obs.A("visited", fmt.Sprint(res.VisitedCount)))
 	return res
 }
 
@@ -162,8 +217,11 @@ func sameTopology(a, b *tree.Tree) error {
 
 // Solve runs a single negotiation on t (convenience wrapper that creates
 // and closes a Session).
-func Solve(t *tree.Tree) *Result {
-	s := NewSession(t)
+func Solve(t *tree.Tree) *Result { return SolveObserved(t, nil) }
+
+// SolveObserved is Solve against an observability scope.
+func SolveObserved(t *tree.Tree, sc *obs.Scope) *Result {
+	s := NewSessionObserved(t, sc)
 	defer s.Close()
 	return s.Run()
 }
@@ -210,11 +268,19 @@ func (a *nodeActor) handle(lambda rat.R) rat.R {
 		// Count the proposal before sending and the acknowledgment after
 		// receiving: the channel operations then order every access to
 		// the shared counter (between the send and the ack-receive the
-		// child's subtree owns it).
-		res.Messages++
+		// child's subtree owns it). The span open/close brackets the
+		// child's whole subtree negotiation the same way.
+		var txSpan obs.SpanID
+		if a.s.txSpan != nil {
+			txSpan = a.s.sc.StartSpan("tx "+t.Name(a.id)+"→"+t.Name(cid), "proto", a.s.txSpan[a.id])
+			a.s.txSpan[cid] = txSpan
+		}
+		a.s.countMsg()
 		child.proposal <- beta // phase one: proposal
 		theta := <-child.ack   // phase two: acknowledgment
-		res.Messages++
+		a.s.countMsg()
+		a.s.sc.EndSpan(txSpan, obs.A("beta", beta.String()), obs.A("theta", theta.String()))
+		a.s.txCtr.Inc()
 		accepted := beta.Sub(theta)
 		sends[pos[cid]] = accepted
 		delta = delta.Sub(accepted)

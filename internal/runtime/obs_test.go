@@ -1,0 +1,93 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bwc/internal/obs"
+	"bwc/internal/paperexample"
+	"bwc/internal/tree"
+)
+
+// TestExecuteObserved: the per-node executed counters must equal the
+// Report exactly, and every delegated task must leave one transfer span
+// on its edge track.
+func TestExecuteObserved(t *testing.T) {
+	tr := paperexample.Tree()
+	s := schedule(t, tr)
+	const n = 40
+
+	sc := obs.New()
+	rep, err := Execute(Config{Schedule: s, Tasks: n, Scale: 50 * time.Microsecond, Obs: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := sc.Registry()
+	for id := range rep.Executed {
+		name := tr.Name(tree.NodeID(id))
+		got := reg.CounterLabeled("bwc_runtime_tasks_executed_total", "", "node", name).Value()
+		if got != int64(rep.Executed[id]) {
+			t.Errorf("node %s: counter %d, report %d", name, got, rep.Executed[id])
+		}
+	}
+
+	// Root computed rep.Executed[root] tasks locally; the other n-root
+	// tasks each crossed at least the root's outgoing edge, so the root's
+	// edge tracks together hold exactly that many spans.
+	root := tr.Root()
+	fromRoot := 0
+	for _, sp := range sc.Spans() {
+		if strings.HasPrefix(sp.Track, tr.Name(root)+"→") {
+			fromRoot++
+			if sp.End.Less(sp.Start) {
+				t.Fatalf("span %q ends before it starts", sp.Name)
+			}
+		}
+	}
+	if want := n - rep.Executed[root]; fromRoot != want {
+		t.Errorf("%d transfer spans out of the root, want %d", fromRoot, want)
+	}
+}
+
+// TestServeMetrics scrapes a live endpoint mid-run.
+func TestServeMetrics(t *testing.T) {
+	sc := obs.New()
+	sc.Registry().Counter("bwc_probe_total", "test probe").Add(7)
+
+	ms, err := ServeMetrics(sc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", ms.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "bwc_probe_total 7") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", ms.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+
+	if _, err := ServeMetrics(nil, "127.0.0.1:0"); err == nil {
+		t.Fatal("nil scope accepted")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"bwc/internal/obs"
 	"bwc/internal/rat"
 	"bwc/internal/sched"
 	"bwc/internal/tree"
@@ -47,6 +48,10 @@ type Config struct {
 	// Work, if non-nil, runs on the executing node's computer goroutine
 	// for every task (after the simulated computation time).
 	Work func(node tree.NodeID, task int)
+	// Obs, when enabled, instruments the run: one wall-clock span per
+	// link transfer (one track per edge, e.g. "P0→P1") and per-node
+	// bwc_runtime_tasks_executed_total counters. nil disables.
+	Obs *obs.Scope
 }
 
 // Report summarizes an execution.
@@ -134,6 +139,18 @@ func Execute(cfg Config) (*Report, error) {
 	var done sync.WaitGroup
 	done.Add(cfg.Tasks)
 
+	// Instruments, pre-registered so the goroutines only touch atomics
+	// (all nil-safe no-ops when cfg.Obs is disabled).
+	sc := cfg.Obs
+	execCtr := make([]*obs.Counter, t.Len())
+	if sc.Enabled() {
+		reg := sc.Registry()
+		for i := range execCtr {
+			execCtr[i] = reg.CounterLabeled("bwc_runtime_tasks_executed_total",
+				"tasks executed by the node during live runs", "node", t.Name(tree.NodeID(i)))
+		}
+	}
+
 	var workers sync.WaitGroup
 	scaleOf := func(v rat.R) time.Duration {
 		return time.Duration(v.Float64() * float64(cfg.Scale))
@@ -179,6 +196,7 @@ func Execute(cfg Config) (*Report, error) {
 					executedMu.Lock()
 					executed[n.id]++
 					executedMu.Unlock()
+					execCtr[n.id].Inc()
 					done.Done()
 				}
 			}()
@@ -188,10 +206,26 @@ func Execute(cfg Config) (*Report, error) {
 		go func() {
 			defer workers.Done()
 			children := t.Children(n.id)
+			// One span track per outgoing link; names precomputed so the
+			// transfer loop builds no strings.
+			var linkTrack []string
+			if sc.Enabled() {
+				linkTrack = make([]string, len(children))
+				for j, c := range children {
+					linkTrack[j] = t.Name(n.id) + "→" + t.Name(c)
+				}
+			}
 			for out := range n.sendQ {
 				child := children[out.child]
+				var span obs.SpanID
+				if linkTrack != nil {
+					span = sc.StartSpan(fmt.Sprintf("task %d", out.t.id), linkTrack[out.child], 0)
+				}
 				time.Sleep(scaleOf(t.CommTime(child)))
 				nodes[child].inbox <- out.t
+				if linkTrack != nil {
+					sc.EndSpan(span)
+				}
 			}
 			// Drain complete: cascade shutdown to children.
 			for _, c := range children {

@@ -28,6 +28,7 @@ import (
 	"math/big"
 
 	"bwc/internal/des"
+	"bwc/internal/obs"
 	"bwc/internal/rat"
 	"bwc/internal/sched"
 	"bwc/internal/trace"
@@ -56,6 +57,12 @@ type Options struct {
 	// SkipIntervals suppresses Gantt interval recording (completions and
 	// buffer samples are always recorded); useful for large sweeps.
 	SkipIntervals bool
+	// Obs, when enabled, instruments the run: one span per DES event
+	// batch (track "des"), one span per Send/Compute/Recv interval
+	// (tracks "<node>/S|C|R"), per-node buffer-occupancy gauges
+	// (bwc_node_buffer_tasks, bwc_node_buffer_max_tasks) and task/event
+	// counters. nil (the default) is the disabled fast path.
+	Obs *obs.Scope
 }
 
 // Stats summarizes a run.
@@ -122,6 +129,54 @@ type simulator struct {
 	// switches); dropped counts tasks no node could handle.
 	dynamic bool
 	dropped int
+
+	// sc is the (possibly nil) observability scope. When set, the fields
+	// below hold its pre-registered instruments and the per-node span
+	// track names (precomputed so the hot loop builds no strings). Hot
+	// paths guard on sc == nil once and otherwise call nil-safe no-ops.
+	sc        *obs.Scope
+	genCtr    *obs.Counter
+	doneCtr   *obs.Counter
+	evCtr     *obs.Counter
+	batchHist *obs.Histogram
+	bufG      []*obs.Gauge
+	bufMaxG   []*obs.Gauge
+	trkC      []string
+	trkS      []string
+	trkR      []string
+}
+
+// initObs registers the simulation's instruments on sc. Gauge families
+// are labeled by node name so the Prometheus export reads like the
+// paper's per-node buffer table (Section 6.3).
+func (sm *simulator) initObs(sc *obs.Scope) {
+	sm.sc = sc
+	reg := sc.Registry()
+	sm.genCtr = reg.Counter("bwc_sim_tasks_generated_total",
+		"tasks released by the root")
+	sm.doneCtr = reg.Counter("bwc_sim_tasks_completed_total",
+		"tasks executed across the platform")
+	sm.evCtr = reg.Counter("bwc_sim_events_total",
+		"discrete events fired by the simulation engine")
+	sm.batchHist = reg.Histogram("bwc_sim_batch_events",
+		"events fired per same-instant DES batch",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	n := sm.t.Len()
+	sm.bufG = make([]*obs.Gauge, n)
+	sm.bufMaxG = make([]*obs.Gauge, n)
+	sm.trkC = make([]string, n)
+	sm.trkS = make([]string, n)
+	sm.trkR = make([]string, n)
+	for i := 0; i < n; i++ {
+		name := sm.t.Name(tree.NodeID(i))
+		sm.bufG[i] = reg.GaugeLabeled("bwc_node_buffer_tasks",
+			"tasks buffered at the node (compute + send queues)", "node", name)
+		sm.bufMaxG[i] = reg.GaugeLabeled("bwc_node_buffer_max_tasks",
+			"peak buffered-task count at the node", "node", name)
+		sm.trkC[i] = name + "/C"
+		sm.trkS[i] = name + "/S"
+		sm.trkR[i] = name + "/R"
+	}
 }
 
 // Simulate runs the schedule until the root stops and all in-flight work
@@ -195,14 +250,68 @@ func Simulate(s *sched.Schedule, opt Options) (*Run, error) {
 	for i := range sm.nodes {
 		sm.nodes[i] = nodeState{id: tree.NodeID(i), pattern: s.Nodes[i].Pattern}
 	}
+	if opt.Obs.Enabled() {
+		sm.initObs(opt.Obs)
+	}
 
 	sm.schedulePeriod(0, 0)
-	if err := sm.eng.Drain(opt.MaxEvents); err != nil {
+	if sm.sc != nil {
+		if err := sm.drainObserved(opt.MaxEvents); err != nil {
+			return nil, err
+		}
+	} else if err := sm.eng.Drain(opt.MaxEvents); err != nil {
 		return nil, err
 	}
 	sm.tr.End = sm.eng.Now()
 	sm.finishStats()
 	return &Run{Schedule: s, Trace: sm.tr, Stats: *st}, nil
+}
+
+// drainObserved mirrors des.Engine.Drain (same termination guard, same
+// error) but groups events that fire at the same virtual instant into one
+// span on the "des" track. A batch span stretches to the next pending
+// instant so it has visible width in a trace viewer; the final batch is
+// zero-width. Only the observed path pays for this loop — the disabled
+// path stays on eng.Drain untouched.
+func (sm *simulator) drainObserved(maxEvents uint64) error {
+	eng := sm.eng
+	start := eng.Processed()
+	for {
+		at, ok := eng.NextAt()
+		if !ok {
+			return nil
+		}
+		before := eng.Processed()
+		for {
+			next, pending := eng.NextAt()
+			if !pending || !next.Equal(at) {
+				break
+			}
+			if !eng.Step() {
+				break
+			}
+			if eng.Processed()-start > maxEvents {
+				return fmt.Errorf("des: drain exceeded %d events at t=%s (model not terminating?)", maxEvents, eng.Now())
+			}
+		}
+		batch := eng.Processed() - before
+		if batch == 0 {
+			continue // everything at this instant was cancelled
+		}
+		end := at
+		if next, pending := eng.NextAt(); pending {
+			end = next
+		}
+		sm.sc.AddSpan(obs.Span{
+			Name:  "batch",
+			Track: "des",
+			Start: at,
+			End:   end,
+			Attrs: []obs.Attr{obs.A("events", fmt.Sprint(batch))},
+		})
+		sm.batchHist.Observe(float64(batch))
+		sm.evCtr.Add(int64(batch))
+	}
 }
 
 // schedulePeriod releases the root's period-p slots that fall before Stop
@@ -235,6 +344,7 @@ func (sm *simulator) schedulePeriod(p, released int64) {
 		dest := slot.Dest
 		sm.eng.At(at, func() {
 			sm.stats.Generated++
+			sm.genCtr.Inc()
 			sm.assign(sm.t.Root(), dest)
 		})
 	}
@@ -321,9 +431,13 @@ func (sm *simulator) kickCompute(ns *nodeState) {
 	if !sm.opt.SkipIntervals {
 		sm.tr.AddInterval(trace.Interval{Node: ns.id, Kind: trace.Compute, Start: start, End: end, Peer: tree.None})
 	}
+	if sm.sc != nil {
+		sm.sc.AddSpan(obs.Span{Name: "compute", Track: sm.trkC[ns.id], Start: start, End: end})
+	}
 	sm.eng.At(end, func() {
 		ns.computing = false
 		sm.tr.AddCompletion(ns.id, end)
+		sm.doneCtr.Inc()
 		sm.kickCompute(ns)
 	})
 }
@@ -344,6 +458,10 @@ func (sm *simulator) kickSend(ns *nodeState) {
 		sm.tr.AddInterval(trace.Interval{Node: ns.id, Kind: trace.Send, Start: start, End: end, Peer: child})
 		sm.tr.AddInterval(trace.Interval{Node: child, Kind: trace.Recv, Start: start, End: end, Peer: ns.id})
 	}
+	if sm.sc != nil {
+		sm.sc.AddSpan(obs.Span{Name: "send " + sm.t.Name(child), Track: sm.trkS[ns.id], Start: start, End: end})
+		sm.sc.AddSpan(obs.Span{Name: "recv " + sm.t.Name(ns.id), Track: sm.trkR[child], Start: start, End: end})
+	}
 	sm.eng.At(end, func() {
 		ns.sending = false
 		sm.arrive(child)
@@ -358,6 +476,10 @@ func (sm *simulator) sampleBuffer(ns *nodeState) {
 	}
 	ns.held = held
 	sm.tr.AddBufferSample(ns.id, sm.eng.Now(), held)
+	if sm.sc != nil {
+		sm.bufG[ns.id].Set(int64(held))
+		sm.bufMaxG[ns.id].SetMax(int64(held))
+	}
 }
 
 func (sm *simulator) finishStats() {
