@@ -19,7 +19,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/proto ./internal/runtime ./internal/obs
+	$(GO) test -race ./internal/proto ./internal/runtime ./internal/obs ./internal/obs/analyze
 
 # Observability overhead benchmarks (EXPERIMENTS.md records the numbers).
 bench:

@@ -49,6 +49,7 @@ import (
 	"bwc/internal/lp"
 	"bwc/internal/makespan"
 	"bwc/internal/obs"
+	"bwc/internal/obs/analyze"
 	"bwc/internal/paperexample"
 	"bwc/internal/proto"
 	"bwc/internal/rat"
@@ -191,6 +192,102 @@ type MetricsServer = runtime.MetricsServer
 // free port; the bound address is in the returned server's Addr).
 func ServeObserverMetrics(o *Observer, addr string) (*MetricsServer, error) {
 	return runtime.ServeMetrics(o, addr)
+}
+
+// ServeObserverHealth is ServeObserverMetrics plus the live conformance
+// endpoints: a self-contained HTML dashboard at / (per-node progress vs
+// the schedule's α shares, buffer occupancy vs χ) and a machine-readable
+// /healthz that turns the same metrics into verdicts (HTTP 503 when any
+// fail). s supplies the expected values; nil serves metrics only.
+func ServeObserverHealth(o *Observer, s *Schedule, addr string) (*MetricsServer, error) {
+	return runtime.ServeHealth(o, s, addr)
+}
+
+// Conformance analysis: turning a run's telemetry into verdicts against
+// the paper's theory (see internal/obs/analyze).
+type (
+	// HealthReport is the structured outcome of analyzing one run.
+	HealthReport = analyze.HealthReport
+	// HealthCheck is one conformance verdict with its evidence.
+	HealthCheck = analyze.Check
+	// HealthVerdict is PASS, FAIL or SKIP.
+	HealthVerdict = analyze.Verdict
+	// AnalyzeOptions tunes the conformance thresholds and supplies the
+	// schedule expected values are derived from.
+	AnalyzeOptions = analyze.Options
+	// RunEvidence is the raw material of an analysis (spans + metrics).
+	RunEvidence = analyze.Evidence
+)
+
+// Verdict values.
+const (
+	HealthPass = analyze.Pass
+	HealthFail = analyze.Fail
+	HealthSkip = analyze.Skip
+)
+
+// AnalyzeRun checks an observed simulation against the paper's theory:
+// per-node throughput vs the solver's η, single-port discipline, link
+// utilization vs Lemma 1, buffer peaks vs Proposition 3's χ, steady-state
+// onset vs Proposition 4, start-up useful work, and backlogged idleness.
+// The run must have been simulated with SimOptions.Obs set; the schedule
+// and stop time are taken from the run. Optional opts override thresholds
+// (the Schedule and Stop fields are filled in from the run when zero).
+func AnalyzeRun(run *Run, opts ...AnalyzeOptions) *HealthReport {
+	var o AnalyzeOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Schedule == nil {
+		o.Schedule = run.Schedule
+	}
+	if o.Stop.IsZero() {
+		o.Stop = run.Stats.StopAt
+	}
+	return analyze.Analyze(analyze.FromScope(run.Obs), o)
+}
+
+// AnalyzeDynamicRun checks an observed dynamic simulation against one
+// schedule's expectations — pass the schedule the run was *supposed* to
+// conform to (typically the last phase's). A run whose physics degraded
+// under a stale schedule fails the throughput and buffer checks; that is
+// the detector the Section 5 adaptation loop needs.
+func AnalyzeDynamicRun(run *DynRun, s *Schedule, opts ...AnalyzeOptions) *HealthReport {
+	var o AnalyzeOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Schedule == nil {
+		o.Schedule = s
+	}
+	return analyze.Analyze(analyze.FromScope(run.Obs), o)
+}
+
+// AnalyzeObserver analyzes whatever evidence a live Observer holds (e.g.
+// one attached to Execute). Wall-clock runs carry link spans and
+// counters, so the exact-timing checks degrade to SKIP.
+func AnalyzeObserver(o *Observer, opts ...AnalyzeOptions) *HealthReport {
+	var ao AnalyzeOptions
+	if len(opts) > 0 {
+		ao = opts[0]
+	}
+	return analyze.Analyze(analyze.FromScope(o), ao)
+}
+
+// AnalyzeTrace analyzes offline evidence: a Chrome trace (WriteChromeTrace)
+// or span-tagged JSONL (WriteSpansJSONL / AttachJSONL) previously written
+// by an exporter. Supply AnalyzeOptions.Schedule to enable the checks that
+// need expected values.
+func AnalyzeTrace(r io.Reader, opts ...AnalyzeOptions) (*HealthReport, error) {
+	var o AnalyzeOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	ev, err := analyze.ReadEvidence(r)
+	if err != nil {
+		return nil, err
+	}
+	return analyze.Analyze(ev, o), nil
 }
 
 // Solve computes the optimal steady-state throughput and the per-node

@@ -2,6 +2,8 @@ package bwc_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -410,5 +412,85 @@ func TestFacadeWrapperCoverage(t *testing.T) {
 	defer sess.Close()
 	if got := sess.Run(); !got.Throughput.Equal(res.Throughput) {
 		t.Fatal("session run")
+	}
+}
+
+// TestFacadeAnalyze drives the conformance loop through the public API:
+// an observed simulation passes AnalyzeRun, a trace export round-trips
+// through AnalyzeTrace, a degraded-link dynamic run fails
+// AnalyzeDynamicRun, and ServeObserverHealth serves live verdicts.
+func TestFacadeAnalyze(t *testing.T) {
+	tr := bwc.PaperExampleTree()
+	s, err := bwc.BuildSchedule(bwc.Solve(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := bwc.NewObserver()
+	run, err := bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(200), Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := bwc.AnalyzeRun(run)
+	if !rep.Healthy() || rep.Failed != 0 {
+		var sb strings.Builder
+		rep.WriteText(&sb)
+		t.Fatalf("clean run unhealthy:\n%s", sb.String())
+	}
+	if c := rep.Check("throughput-conformance"); c == nil || c.Verdict != bwc.HealthPass {
+		t.Fatalf("throughput-conformance: %+v", c)
+	}
+
+	// Offline: the exported trace must yield the same span-level verdicts.
+	var buf strings.Builder
+	if err := ob.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	offline, err := bwc.AnalyzeTrace(strings.NewReader(buf.String()),
+		bwc.AnalyzeOptions{Schedule: s, Stop: bwc.RatInt(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.Failed != 0 {
+		t.Fatalf("offline analysis failed %d checks", offline.Failed)
+	}
+
+	// A stale schedule over a degraded link must be detected.
+	slow, err := tr.WithCommTime(tr.MustLookup("P4"), bwc.RatInt(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob2 := bwc.NewObserver()
+	dyn, err := bwc.SimulateDynamic(bwc.DynOptions{
+		Phases:  []bwc.DynPhase{{Schedule: s}},
+		Physics: []bwc.DynPhysics{{Tree: slow}},
+		Stop:    bwc.RatInt(360),
+		Obs:     ob2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bwc.AnalyzeDynamicRun(dyn, s, bwc.AnalyzeOptions{Stop: bwc.RatInt(360)})
+	if bad.Healthy() {
+		t.Fatal("degraded link went undetected through the facade")
+	}
+	if c := bad.Check("buffer-watermark"); c == nil || c.Verdict != bwc.HealthFail {
+		t.Fatalf("buffer-watermark: %+v", c)
+	}
+
+	// Live endpoints.
+	ms, err := bwc.ServeObserverHealth(ob, s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", ms.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"healthy": true`) {
+		t.Fatalf("healthz %d:\n%s", resp.StatusCode, body)
 	}
 }

@@ -91,6 +91,8 @@ func run(args []string) (code int) {
 		err = cmdInfinite(rest)
 	case "obs":
 		err = cmdObs(rest)
+	case "analyze":
+		err = cmdAnalyze(rest)
 	case "example":
 		fmt.Print(bwc.FormatPlatform(bwc.PaperExampleTree()))
 	case "-h", "--help", "help":
@@ -117,11 +119,12 @@ commands:
   verify     -f platform.txt     cross-check all four oracles
   compare    -f platform.txt -stop 115
   overlay    -f graph.txt [-emit greedy]  extract tree overlays from a graph
-  dynamic    -f platform.txt -degrade P1=4 -at 120 -lag 40 -stop 400
+  dynamic    -f platform.txt -degrade P1=4 -at 120 -lag 40 -stop 400 [-log-out e.jsonl]
   upgrade    -f platform.txt [-speedup 2] [-top 5]
   execute    -f platform.txt -n 100 -scale 2ms [-metrics :8080]
   makespan   -f platform.txt -n 500 [-demand]
   obs        -f platform.txt [-periods 3] [-metrics -] [-trace-out t.json] [-log-out e.jsonl]
+  analyze    -trace e.jsonl [-f platform.txt] [-stop 115] [-json]  conformance verdicts
   infinite   -k 2 -w 2 -c 1 [-depth 8]
   gen        -kind uniform -n 30 -seed 1
   dot        -f platform.txt [-used]
@@ -496,6 +499,7 @@ func cmdDynamic(args []string) error {
 	at := fs.String("at", "120", "time of the platform change")
 	lag := fs.String("lag", "40", "detection lag before the schedules switch")
 	stop := fs.String("stop", "400", "stop releasing tasks at this time")
+	logOut := fs.String("log-out", "", "write span JSONL evidence for 'bwsched analyze' to this file ('-' = stdout)")
 	fs.Parse(args)
 	t, err := loadPlatform(*file)
 	if err != nil {
@@ -538,17 +542,36 @@ func cmdDynamic(args []string) error {
 	if err != nil {
 		return err
 	}
+	var ob *bwc.Observer
+	if *logOut != "" {
+		ob = bwc.NewObserver()
+	}
 	run, err := bwc.SimulateDynamic(bwc.DynOptions{
 		Phases: []bwc.DynPhase{
 			{At: bwc.RatInt(0), Schedule: sBefore},
 			{At: atR.Add(lagR), Schedule: sAfter},
 		},
-		Physics:       []bwc.DynPhysics{{At: atR, Tree: after}},
-		Stop:          stopR,
-		SkipIntervals: true,
+		Physics: []bwc.DynPhysics{{At: atR, Tree: after}},
+		Stop:    stopR,
+		// Interval recording feeds the exported spans; skip it only when
+		// nothing will be exported.
+		SkipIntervals: ob == nil,
+		Obs:           ob,
 	})
 	if err != nil {
 		return err
+	}
+	if ob != nil {
+		w, err := openOut(*logOut)
+		if err != nil {
+			return err
+		}
+		if err := ob.WriteSpansJSONL(w); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("rates:        %s before, %s after the change\n", resBefore.Throughput, resAfter.Throughput)
 	fmt.Printf("change at:    %s; schedules switch at %s (lag %s)\n", atR, atR.Add(lagR), lagR)
@@ -618,13 +641,14 @@ func cmdObs(args []string) error {
 		return err
 	}
 	ob := bwc.NewObserver()
+	var logW io.WriteCloser
 	if *logOut != "" {
-		w, err := openOut(*logOut)
+		logW, err = openOut(*logOut)
 		if err != nil {
 			return err
 		}
-		defer w.Close()
-		ob.AttachJSONL(w)
+		defer logW.Close()
+		ob.AttachJSONL(logW)
 	}
 
 	dres := bwc.SolveDistributed(t, ob)
@@ -646,6 +670,13 @@ func cmdObs(args []string) error {
 		return err
 	}
 	ob.Close() // flush the JSONL stream before exporting
+	if logW != nil {
+		// Append the span records so the event log is self-sufficient
+		// evidence for `bwsched analyze`.
+		if err := ob.WriteSpansJSONL(logW); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("throughput:  %s tasks/unit\n", res.Throughput)
 	fmt.Printf("protocol:    %d messages, %d nodes visited\n", dres.Messages, dres.VisitedCount)
@@ -682,6 +713,72 @@ func cmdObs(args []string) error {
 	}
 	if *logOut != "" && *logOut != "-" {
 		fmt.Printf("events:      %s\n", *logOut)
+	}
+	return nil
+}
+
+// cmdAnalyze replays recorded telemetry against the paper's theory: it
+// reads the spans an observed run exported (obs -log-out JSONL or
+// -trace-out Chrome trace), re-derives the expected values from the
+// platform, and prints one verdict per conformance check. A failing
+// check makes the command exit nonzero, so it slots into CI.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("trace", "", "evidence file: span JSONL or Chrome trace JSON ('-' = stdin)")
+	file := fs.String("f", "", "platform file; enables the schedule-dependent checks ('-' = stdin)")
+	stop := fs.String("stop", "", "when the root stopped releasing tasks (rational); wind-down after it is ignored")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	ratio := fs.Float64("ratio", 0, "minimum achieved/η ratio (default 0.99)")
+	slack := fs.Int("buffer-slack", 0, "tasks a buffer may exceed its χ bound by")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("analyze: -trace is required (a file written by 'obs -log-out' or 'obs -trace-out')")
+	}
+	var r io.Reader
+	if *in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	opt := bwc.AnalyzeOptions{MinRateRatio: *ratio, BufferSlack: *slack}
+	if *file != "" {
+		t, err := loadPlatform(*file)
+		if err != nil {
+			return err
+		}
+		s, err := bwc.BuildSchedule(bwc.Solve(t))
+		if err != nil {
+			return err
+		}
+		opt.Schedule = s
+	}
+	if *stop != "" {
+		v, err := bwc.ParseRat(*stop)
+		if err != nil {
+			return err
+		}
+		opt.Stop = v
+	}
+
+	rep, err := bwc.AnalyzeTrace(r, opt)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if !rep.Healthy() {
+		return fmt.Errorf("analyze: %d conformance check(s) failed", rep.Failed)
 	}
 	return nil
 }

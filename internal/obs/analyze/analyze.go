@@ -1,0 +1,797 @@
+package analyze
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"bwc/internal/obs"
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/tree"
+)
+
+// Options configures an analysis.
+type Options struct {
+	// Schedule supplies the expected values (η rates, periods, χ bounds).
+	// Without it only schedule-free checks (single-port) can run; the
+	// rest SKIP.
+	Schedule *sched.Schedule
+	// Stop is the instant the root stopped releasing tasks, when known.
+	// Windowed estimators then ignore the wind-down after it; zero means
+	// "use the last recorded instant".
+	Stop rat.R
+	// MinRateRatio is the minimum achieved/η ratio counted as conforming
+	// (default 0.99).
+	MinRateRatio float64
+	// MinStartupRatio is the minimum useful-work ratio during start-up:
+	// tasks completed before steady state over the steady rate times the
+	// onset time (Section 7's claim that start-up is productive).
+	// Default 0.5.
+	MinStartupRatio float64
+	// BufferSlack is the number of buffered tasks a node may exceed its
+	// χ bound by before the watermark check fails (default 0: Section
+	// 6.3's interleaving claims the bound exactly).
+	BufferSlack int
+	// UtilTolerance is the relative tolerance on link busy fractions
+	// before a link counts as over-driven (default 0.05).
+	UtilTolerance float64
+	// LatencyTolerance is the relative tolerance on the p99 compute
+	// latency over the platform's w (default 0.05).
+	LatencyTolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinRateRatio == 0 {
+		o.MinRateRatio = 0.99
+	}
+	if o.MinStartupRatio == 0 {
+		o.MinStartupRatio = 0.5
+	}
+	if o.UtilTolerance == 0 {
+		o.UtilTolerance = 0.05
+	}
+	if o.LatencyTolerance == 0 {
+		o.LatencyTolerance = 0.05
+	}
+	return o
+}
+
+// nodeEvid groups one node's spans by activity, each sorted by start.
+// sendTo splits the send spans per destination child.
+type nodeEvid struct {
+	compute []obs.Span
+	send    []obs.Span
+	recv    []obs.Span
+	sendTo  map[tree.NodeID][]obs.Span
+}
+
+type analysis struct {
+	ev      *Evidence
+	opt     Options
+	s       *sched.Schedule
+	t       *tree.Tree
+	nodes   []nodeEvid
+	tracks  map[string][]obs.Span
+	horizon rat.R
+	haveSim bool // any exact simulator span (C/S/R track) present
+}
+
+// Analyze runs every conformance check against the evidence and returns
+// the structured report. Checks degrade to SKIP when the evidence or the
+// schedule they need is absent, so the same analyzer serves exact
+// simulator traces, wall-clock runtime scopes and offline files.
+func Analyze(ev *Evidence, opt Options) *HealthReport {
+	a := &analysis{ev: ev, opt: opt.withDefaults()}
+	if a.opt.Schedule != nil {
+		a.s = a.opt.Schedule
+		a.t = a.s.Tree
+	}
+	a.parse()
+
+	rep := &HealthReport{}
+	rep.add(a.singlePort())
+	rep.add(a.throughputConformance())
+	rep.add(a.linkUtilization())
+	rep.add(a.bufferWatermark())
+	onsetCheck, onset, onsetOK := a.steadyStateOnset()
+	rep.add(onsetCheck)
+	rep.add(a.startupUsefulWork(onset, onsetOK))
+	rep.add(a.idleWhileBacklogged())
+	rep.add(a.computeLatency())
+	rep.add(a.taskConservation())
+	return rep
+}
+
+// parse indexes the evidence: spans per track, and (when a schedule names
+// the platform) per node and activity. Track naming follows the
+// simulator's convention: "<node>/C", "<node>/S", "<node>/R"; the live
+// runtime uses "<parent>→<child>" link tracks instead.
+func (a *analysis) parse() {
+	a.tracks = map[string][]obs.Span{}
+	if a.t != nil {
+		a.nodes = make([]nodeEvid, a.t.Len())
+	}
+	for _, sp := range a.ev.Spans {
+		if a.horizon.Less(sp.End) {
+			a.horizon = sp.End
+		}
+		a.tracks[sp.Track] = append(a.tracks[sp.Track], sp)
+		if a.t == nil || len(sp.Track) < 2 {
+			continue
+		}
+		kind := sp.Track[len(sp.Track)-2:]
+		if kind != "/C" && kind != "/S" && kind != "/R" {
+			continue
+		}
+		id, ok := a.t.Lookup(sp.Track[:len(sp.Track)-2])
+		if !ok {
+			continue
+		}
+		a.haveSim = true
+		ne := &a.nodes[id]
+		switch kind {
+		case "/C":
+			ne.compute = append(ne.compute, sp)
+		case "/S":
+			ne.send = append(ne.send, sp)
+			if child, ok := a.t.Lookup(strings.TrimPrefix(sp.Name, "send ")); ok {
+				if ne.sendTo == nil {
+					ne.sendTo = map[tree.NodeID][]obs.Span{}
+				}
+				ne.sendTo[child] = append(ne.sendTo[child], sp)
+			}
+		case "/R":
+			ne.recv = append(ne.recv, sp)
+		}
+	}
+	for track := range a.tracks {
+		sortSpans(a.tracks[track])
+	}
+	for i := range a.nodes {
+		sortSpans(a.nodes[i].compute)
+		sortSpans(a.nodes[i].send)
+		sortSpans(a.nodes[i].recv)
+	}
+}
+
+func sortSpans(sps []obs.Span) {
+	sort.SliceStable(sps, func(i, j int) bool { return sps[i].Start.Less(sps[j].Start) })
+}
+
+// analysisEnd is the instant windowed estimators measure up to: the
+// known stop when supplied (excluding wind-down), otherwise the last
+// recorded instant.
+func (a *analysis) analysisEnd() rat.R {
+	if a.opt.Stop.IsPos() && a.opt.Stop.Less(a.horizon) {
+		return a.opt.Stop
+	}
+	return a.horizon
+}
+
+// ---------------------------------------------------------------------------
+// Windowed rate estimation
+
+// windowCounts buckets sorted event times into L windows of the given
+// period ([k·period, (k+1)·period)).
+func windowCounts(times []rat.R, period rat.R, L int64) []int64 {
+	counts := make([]int64, L)
+	for _, t := range times {
+		k, ok := t.Div(period).Floor().Int64()
+		if ok && k >= 0 && k < L {
+			counts[k]++
+		}
+	}
+	return counts
+}
+
+// steadyOnset returns the first window index from which every later
+// window meets the quota (ok=false when even the last window misses it).
+func steadyOnset(counts []int64, quota int64) (int64, bool) {
+	k := int64(len(counts))
+	for k > 0 && counts[k-1] >= quota {
+		k--
+	}
+	return k, k < int64(len(counts))
+}
+
+// fullWindows returns how many complete windows of the given period fit
+// before the analysis end.
+func (a *analysis) fullWindows(period rat.R) int64 {
+	if !period.IsPos() {
+		return 0
+	}
+	L, ok := a.analysisEnd().Div(period).Floor().Int64()
+	if !ok || L < 0 {
+		return 0
+	}
+	return L
+}
+
+// spanEnds extracts the end times of a sorted span slice.
+func spanEnds(sps []obs.Span) []rat.R {
+	out := make([]rat.R, len(sps))
+	for i, sp := range sps {
+		out[i] = sp.End
+	}
+	return out
+}
+
+func spanStarts(sps []obs.Span) []rat.R {
+	out := make([]rat.R, len(sps))
+	for i, sp := range sps {
+		out[i] = sp.Start
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Checks
+
+// singlePort verifies the Section 3 port model on the recorded spans:
+// every serial resource track — a node's send port (/S), receive port
+// (/R), CPU (/C) or a runtime link ("A→B") — must hold pairwise
+// non-overlapping spans (shared endpoints are allowed).
+func (a *analysis) singlePort() Check {
+	c := Check{Name: "single-port"}
+	names := make([]string, 0, len(a.tracks))
+	for tr := range a.tracks {
+		if isSerialTrack(tr) {
+			names = append(names, tr)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		c.Verdict, c.Detail = Skip, "no port tracks in evidence"
+		return c
+	}
+	violations := 0
+	for _, tr := range names {
+		sps := a.tracks[tr]
+		maxEnd := sps[0].End
+		for i := 1; i < len(sps); i++ {
+			if sps[i].Start.Less(maxEnd) {
+				violations++
+				if len(c.Evidence) < 16 {
+					c.Evidence = append(c.Evidence, fmt.Sprintf(
+						"%s: %q [%s,%s] overlaps preceding activity ending at %s",
+						tr, sps[i].Name, sps[i].Start, sps[i].End, maxEnd))
+				}
+			}
+			if maxEnd.Less(sps[i].End) {
+				maxEnd = sps[i].End
+			}
+		}
+	}
+	if violations > 0 {
+		c.Verdict = Fail
+		c.Detail = fmt.Sprintf("%d overlapping activities across %d port tracks", violations, len(names))
+		return c
+	}
+	c.Verdict = Pass
+	c.Detail = fmt.Sprintf("%d port tracks serialized, no overlap", len(names))
+	return c
+}
+
+func isSerialTrack(track string) bool {
+	if strings.Contains(track, "→") {
+		return true
+	}
+	if len(track) < 2 {
+		return false
+	}
+	switch track[len(track)-2:] {
+	case "/C", "/S", "/R":
+		return true
+	}
+	return false
+}
+
+// throughputConformance compares every active computing node's achieved
+// rate against its solver rate α = η_0, using windows of the node's own
+// synchronized period T_0 (Proposition 3): from the steady-state onset
+// on, every full window must complete α·T_0 tasks.
+func (a *analysis) throughputConformance() Check {
+	c := Check{Name: "throughput-conformance"}
+	if a.s == nil || !a.haveSim {
+		c.Verdict, c.Detail = Skip, needSchedSim(a)
+		return c
+	}
+	checked, failed := 0, 0
+	worst := 1.0
+	for i := range a.s.Nodes {
+		ns := &a.s.Nodes[i]
+		if !ns.Active || !ns.Alpha.IsPos() {
+			continue
+		}
+		id := ns.Node
+		t0 := rat.FromBigInt(a.s.T0(id))
+		L := a.fullWindows(t0)
+		if L == 0 {
+			continue
+		}
+		quota := ns.Alpha.Mul(t0)
+		q, _ := quota.Int64() // integer by Prop. 3 (T_0 is a multiple of T^c)
+		counts := windowCounts(spanEnds(a.nodes[id].compute), t0, L)
+		onset, ok := steadyOnset(counts, q)
+		checked++
+		ratio := 0.0
+		if ok {
+			total := int64(0)
+			for _, n := range counts[onset:] {
+				total += n
+			}
+			achieved := rat.FromInt(total).Div(t0.Mul(rat.FromInt(L - onset)))
+			ratio = achieved.Div(ns.Alpha).Float64()
+		}
+		line := fmt.Sprintf("%s: α=%s over T0=%s windows %v, steady from window %d, achieved/α=%.3f",
+			a.t.Name(id), ns.Alpha, t0, counts, onset, ratio)
+		if !ok || ratio < a.opt.MinRateRatio {
+			failed++
+			if !ok {
+				line = fmt.Sprintf("%s: α=%s over T0=%s windows %v: no steady suffix reaches quota %d",
+					a.t.Name(id), ns.Alpha, t0, counts, q)
+			}
+			c.Evidence = append(c.Evidence, line)
+		}
+		if ok && ratio < worst {
+			worst = ratio
+		}
+	}
+	switch {
+	case checked == 0:
+		c.Verdict, c.Detail = Skip, "no full node period before the analysis end"
+	case failed > 0:
+		c.Verdict = Fail
+		c.Detail = fmt.Sprintf("%d of %d computing nodes below %.0f%% of α", failed, checked, a.opt.MinRateRatio*100)
+	default:
+		c.Verdict = Pass
+		c.Detail = fmt.Sprintf("%d computing nodes at their solver rate (worst achieved/α %.3f)", checked, worst)
+	}
+	return c
+}
+
+// linkUtilization verifies Lemma 1 on every scheduled link: the parent
+// must start φ_i = η_i·T^s transfers per sending period (from some onset
+// on) and keep the link busy for no more than η_i·c_i of the time — a
+// link driven hotter than planned is the signature of a stale schedule
+// running against degraded physics.
+func (a *analysis) linkUtilization() Check {
+	c := Check{Name: "link-utilization"}
+	if a.s == nil || !a.haveSim {
+		c.Verdict, c.Detail = Skip, needSchedSim(a)
+		return c
+	}
+	checked, failed := 0, 0
+	for i := range a.s.Nodes {
+		ns := &a.s.Nodes[i]
+		if !ns.Active {
+			continue
+		}
+		id := ns.Node
+		children := a.t.Children(id)
+		for j, eta := range ns.Sends {
+			if !eta.IsPos() {
+				continue
+			}
+			child := children[j]
+			ts := ns.TS
+			L := a.fullWindows(ts)
+			if L == 0 {
+				continue
+			}
+			checked++
+			sps := a.nodes[id].sendTo[child]
+			link := a.t.Name(id) + "→" + a.t.Name(child)
+			if len(sps) == 0 {
+				failed++
+				c.Evidence = append(c.Evidence, fmt.Sprintf("%s: scheduled at η=%s but no transfers recorded", link, eta))
+				continue
+			}
+			quota := ns.Phi[j].Int64()
+			counts := windowCounts(spanStarts(sps), ts, L)
+			_, ok := steadyOnset(counts, quota)
+			// Busy fraction over the measured range vs the plan η·c.
+			window := ts.Mul(rat.FromInt(L))
+			busy := rat.Zero
+			for _, sp := range sps {
+				end := rat.Min(sp.End, window)
+				if sp.Start.Less(end) {
+					busy = busy.Add(end.Sub(sp.Start))
+				}
+			}
+			util := busy.Div(window).Float64()
+			planned := eta.Mul(a.t.CommTime(child)).Float64()
+			line := fmt.Sprintf("%s: η=%s, φ=%d/T^s=%s windows %v, busy %.3f vs planned %.3f",
+				link, eta, quota, ts, counts, util, planned)
+			if !ok || util > planned*(1+a.opt.UtilTolerance) {
+				failed++
+				c.Evidence = append(c.Evidence, line)
+			}
+		}
+	}
+	switch {
+	case checked == 0:
+		c.Verdict, c.Detail = Skip, "no full sending period before the analysis end"
+	case failed > 0:
+		c.Verdict = Fail
+		c.Detail = fmt.Sprintf("%d of %d links off plan (starved or over-driven)", failed, checked)
+	default:
+		c.Verdict = Pass
+		c.Detail = fmt.Sprintf("%d links at their planned rate and utilization", checked)
+	}
+	return c
+}
+
+// bufferWatermark reconstructs every non-root node's buffered-task count
+// from its span stream (+1 per completed receive, −1 per started compute
+// or send, net per instant) and compares the peak against Proposition
+// 3's χ = η_{-1}·T_0 — the bound Section 6.3's interleaved order is
+// designed to respect.
+func (a *analysis) bufferWatermark() Check {
+	c := Check{Name: "buffer-watermark"}
+	if a.s == nil || !a.haveSim {
+		c.Verdict, c.Detail = Skip, needSchedSim(a)
+		return c
+	}
+	checked, failed := 0, 0
+	peakOver := 0
+	for i := range a.s.Nodes {
+		ns := &a.s.Nodes[i]
+		id := ns.Node
+		if !ns.Active || id == a.t.Root() || len(a.nodes[id].recv) == 0 {
+			continue
+		}
+		checked++
+		peak := maxHeld(a.nodes[id])
+		chi := a.s.Chi(id)
+		bound := new(big.Int).Add(chi, big.NewInt(int64(a.opt.BufferSlack)))
+		line := fmt.Sprintf("%s: peak %d buffered vs χ=%s (+%d slack)",
+			a.t.Name(id), peak, chi, a.opt.BufferSlack)
+		if bound.Cmp(big.NewInt(int64(peak))) < 0 {
+			failed++
+			c.Evidence = append(c.Evidence, line)
+			if over := peak - int(chi.Int64()); over > peakOver {
+				peakOver = over
+			}
+		}
+	}
+	switch {
+	case checked == 0:
+		c.Verdict, c.Detail = Skip, "no receiving nodes in evidence"
+	case failed > 0:
+		c.Verdict = Fail
+		c.Detail = fmt.Sprintf("%d of %d nodes exceed χ (worst by %d tasks)", failed, checked, peakOver)
+	default:
+		c.Verdict = Pass
+		c.Detail = fmt.Sprintf("%d nodes within their χ bound", checked)
+	}
+	return c
+}
+
+// heldDelta is one ±1 step of the reconstructed buffer occupancy.
+type heldDelta struct {
+	at rat.R
+	d  int
+}
+
+// heldDeltas builds the sorted ±1 event list of one node's buffer: a task
+// is buffered from the end of its receive until the start of its compute
+// or send.
+func heldDeltas(ne nodeEvid) []heldDelta {
+	ds := make([]heldDelta, 0, len(ne.recv)+len(ne.compute)+len(ne.send))
+	for _, sp := range ne.recv {
+		ds = append(ds, heldDelta{sp.End, +1})
+	}
+	for _, sp := range ne.compute {
+		ds = append(ds, heldDelta{sp.Start, -1})
+	}
+	for _, sp := range ne.send {
+		ds = append(ds, heldDelta{sp.Start, -1})
+	}
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].at.Less(ds[j].at) })
+	return ds
+}
+
+// maxHeld replays the deltas, netting all events at one instant before
+// sampling — a task that enters service the moment it arrives is never
+// counted as buffered, matching the simulator's accounting.
+func maxHeld(ne nodeEvid) int {
+	ds := heldDeltas(ne)
+	held, peak := 0, 0
+	for i := 0; i < len(ds); {
+		j := i
+		for j < len(ds) && ds[j].at.Equal(ds[i].at) {
+			held += ds[j].d
+			j++
+		}
+		if held > peak {
+			peak = held
+		}
+		i = j
+	}
+	return peak
+}
+
+// steadyStateOnset finds when the rootless tree (every node but the root,
+// the Section 8 lens on start-up) reaches its aggregate steady rate, and
+// verifies it happens within Proposition 4's bound Σ T^s over ancestors,
+// rounded up to a whole rootless period.
+func (a *analysis) steadyStateOnset() (Check, rat.R, bool) {
+	c := Check{Name: "steady-state-onset"}
+	if a.s == nil || !a.haveSim {
+		c.Verdict, c.Detail = Skip, needSchedSim(a)
+		return c, rat.Zero, false
+	}
+	period := rat.FromBigInt(a.s.RootlessPeriod())
+	rate := a.s.RootlessRate()
+	if !rate.IsPos() {
+		c.Verdict, c.Detail = Skip, "root delegates nothing; no rootless steady state"
+		return c, rat.Zero, false
+	}
+	L := a.fullWindows(period)
+	if L == 0 {
+		c.Verdict, c.Detail = Skip, fmt.Sprintf("no full rootless period (%s) before the analysis end", period)
+		return c, rat.Zero, false
+	}
+	quota, _ := rate.Mul(period).Int64()
+	root := a.t.Root()
+	var ends []rat.R
+	for i := range a.nodes {
+		if tree.NodeID(i) != root {
+			ends = append(ends, spanEnds(a.nodes[i].compute)...)
+		}
+	}
+	counts := windowCounts(ends, period, L)
+	onset, ok := steadyOnset(counts, quota)
+	// Proposition 4's bound, rounded up to the window the estimator can
+	// actually resolve.
+	bound := a.s.MaxStartupBound()
+	allowed := bound.Div(period).Ceil()
+	onsetAt := period.Mul(rat.FromInt(onset))
+	if !ok {
+		c.Verdict = Fail
+		c.Detail = fmt.Sprintf("rootless tree never reaches %d tasks per %s window", quota, period)
+		c.Evidence = append(c.Evidence, fmt.Sprintf("windows %v, quota %d", counts, quota))
+		return c, rat.Zero, false
+	}
+	if allowed.Less(rat.FromInt(onset)) {
+		c.Verdict = Fail
+		c.Detail = fmt.Sprintf("steady state from t=%s, after the Prop. 4 bound %s (allowed window %s)",
+			onsetAt, bound, allowed)
+		c.Evidence = append(c.Evidence, fmt.Sprintf("windows %v, quota %d", counts, quota))
+		return c, onsetAt, true
+	}
+	c.Verdict = Pass
+	c.Detail = fmt.Sprintf("steady from t=%s (windows %v at quota %d), within Prop. 4 bound %s",
+		onsetAt, counts, quota, bound)
+	return c, onsetAt, true
+}
+
+// startupUsefulWork quantifies Section 7's claim that the start-up phase
+// "allows useful computation": tasks completed before the steady-state
+// onset must be a healthy fraction of what the steady rate would have
+// produced over the same time.
+func (a *analysis) startupUsefulWork(onset rat.R, onsetOK bool) Check {
+	c := Check{Name: "startup-useful-work"}
+	if a.s == nil || !a.haveSim {
+		c.Verdict, c.Detail = Skip, needSchedSim(a)
+		return c
+	}
+	if !onsetOK {
+		c.Verdict, c.Detail = Skip, "no steady-state onset to measure start-up against"
+		return c
+	}
+	if !onset.IsPos() {
+		c.Verdict, c.Detail = Pass, "steady from t=0; no start-up phase"
+		return c
+	}
+	rate := a.s.Res.Throughput
+	done := 0
+	for i := range a.nodes {
+		for _, sp := range a.nodes[i].compute {
+			if sp.End.Less(onset) || sp.End.Equal(onset) {
+				done++
+			}
+		}
+	}
+	expected := rate.Mul(onset).Float64()
+	ratio := float64(done) / expected
+	c.Detail = fmt.Sprintf("%d tasks before steady state at t=%s (%.0f%% of the steady rate's %.0f)",
+		done, onset, ratio*100, expected)
+	if ratio < a.opt.MinStartupRatio {
+		c.Verdict = Fail
+		c.Evidence = append(c.Evidence, fmt.Sprintf("useful-work ratio %.3f below minimum %.3f",
+			ratio, a.opt.MinStartupRatio))
+		return c
+	}
+	c.Verdict = Pass
+	return c
+}
+
+// idleWhileBacklogged detects scheduling pathologies the rate checks can
+// miss: an interval during which a node holds buffered tasks yet neither
+// computes nor sends. (A necessary condition: with tasks backlogged, at
+// least one of the node's resources must be active.)
+func (a *analysis) idleWhileBacklogged() Check {
+	c := Check{Name: "idle-while-backlogged"}
+	if a.t == nil || !a.haveSim {
+		c.Verdict, c.Detail = Skip, needSchedSim(a)
+		return c
+	}
+	checked, failed := 0, 0
+	for i := range a.nodes {
+		ne := &a.nodes[i]
+		if len(ne.recv) == 0 {
+			continue
+		}
+		checked++
+		idle := backloggedIdleTime(*ne)
+		if idle.IsPos() {
+			failed++
+			c.Evidence = append(c.Evidence, fmt.Sprintf("%s: %s time units idle with tasks buffered",
+				a.t.Name(tree.NodeID(i)), idle))
+		}
+	}
+	switch {
+	case checked == 0:
+		c.Verdict, c.Detail = Skip, "no receiving nodes in evidence"
+	case failed > 0:
+		c.Verdict = Fail
+		c.Detail = fmt.Sprintf("%d of %d nodes sat idle while backlogged", failed, checked)
+	default:
+		c.Verdict = Pass
+		c.Detail = fmt.Sprintf("%d nodes never idle with a backlog", checked)
+	}
+	return c
+}
+
+// backloggedIdleTime returns the total time the node spends with a
+// positive reconstructed buffer while no compute or send span covers the
+// instant. Exact rational interval arithmetic throughout.
+func backloggedIdleTime(ne nodeEvid) rat.R {
+	busy := mergeIntervals(append(append([]obs.Span(nil), ne.compute...), ne.send...))
+	ds := heldDeltas(ne)
+	idle := rat.Zero
+	held := 0
+	var segStart rat.R
+	for i := 0; i < len(ds); {
+		at := ds[i].at
+		if held > 0 {
+			idle = idle.Add(uncovered(segStart, at, busy))
+		}
+		for i < len(ds) && ds[i].at.Equal(at) {
+			held += ds[i].d
+			i++
+		}
+		segStart = at
+	}
+	return idle
+}
+
+// interval is a half-open rational interval [start, end).
+type interval struct{ start, end rat.R }
+
+// mergeIntervals sorts spans by start and merges overlapping/adjacent
+// ones into a disjoint cover.
+func mergeIntervals(sps []obs.Span) []interval {
+	if len(sps) == 0 {
+		return nil
+	}
+	sortSpans(sps)
+	out := []interval{{sps[0].Start, sps[0].End}}
+	for _, sp := range sps[1:] {
+		last := &out[len(out)-1]
+		if sp.Start.LessEq(last.end) {
+			if last.end.Less(sp.End) {
+				last.end = sp.End
+			}
+			continue
+		}
+		out = append(out, interval{sp.Start, sp.End})
+	}
+	return out
+}
+
+// uncovered returns the length of [from, to) not covered by the merged
+// intervals.
+func uncovered(from, to rat.R, cover []interval) rat.R {
+	gap := to.Sub(from)
+	for _, iv := range cover {
+		lo := rat.Max(from, iv.start)
+		hi := rat.Min(to, iv.end)
+		if lo.Less(hi) {
+			gap = gap.Sub(hi.Sub(lo))
+		}
+	}
+	return gap
+}
+
+// computeLatency checks that every node's p99 compute time stays at its
+// platform w: per-task latency collapsing or inflating would conform to
+// neither the platform model nor the η accounting built on it.
+func (a *analysis) computeLatency() Check {
+	c := Check{Name: "compute-latency"}
+	if a.t == nil || !a.haveSim {
+		c.Verdict, c.Detail = Skip, needSchedSim(a)
+		return c
+	}
+	reg := obs.NewRegistry()
+	checked, failed := 0, 0
+	for i := range a.nodes {
+		ne := &a.nodes[i]
+		if len(ne.compute) == 0 {
+			continue
+		}
+		id := tree.NodeID(i)
+		w, ok := a.t.ProcTime(id)
+		if !ok {
+			continue
+		}
+		checked++
+		// Durations are normalized by the node's w so one family-wide
+		// bucket layout (labeled histograms share the first registration's
+		// bounds) resolves every node around ratio 1.
+		h := reg.HistogramLabeled("analyze_compute_ratio", "per-task compute time over platform w",
+			[]float64{0.5, 0.9, 0.99, 1, 1.01, 1.1, 2},
+			"node", a.t.Name(id))
+		for _, sp := range ne.compute {
+			h.Observe(sp.End.Sub(sp.Start).Div(w).Float64())
+		}
+		q99 := h.Quantile(0.99)
+		if q99 > 1+a.opt.LatencyTolerance {
+			failed++
+			c.Evidence = append(c.Evidence, fmt.Sprintf("%s: p99 compute/w = %.4f (w=%s)", a.t.Name(id), q99, w))
+		}
+	}
+	switch {
+	case checked == 0:
+		c.Verdict, c.Detail = Skip, "no compute spans in evidence"
+	case failed > 0:
+		c.Verdict = Fail
+		c.Detail = fmt.Sprintf("%d of %d nodes off their platform w at p99", failed, checked)
+	default:
+		c.Verdict = Pass
+		c.Detail = fmt.Sprintf("%d nodes compute at their platform w (p99)", checked)
+	}
+	return c
+}
+
+// taskConservation cross-checks the run's counters: every task the root
+// released must have completed (the drain invariant the simulator's
+// CheckConservation asserts, here recovered from metrics alone).
+func (a *analysis) taskConservation() Check {
+	c := Check{Name: "task-conservation"}
+	gen, genOK := a.counterValue("bwc_sim_tasks_generated_total")
+	done, doneOK := a.counterValue("bwc_sim_tasks_completed_total")
+	if !genOK || !doneOK {
+		c.Verdict, c.Detail = Skip, "no task counters in evidence (offline traces carry spans only)"
+		return c
+	}
+	c.Detail = fmt.Sprintf("%d generated, %d completed", int64(gen), int64(done))
+	if gen != done {
+		c.Verdict = Fail
+		c.Evidence = append(c.Evidence, fmt.Sprintf("%d tasks unaccounted for", int64(gen-done)))
+		return c
+	}
+	c.Verdict = Pass
+	return c
+}
+
+func (a *analysis) counterValue(name string) (float64, bool) {
+	for _, m := range a.ev.Metrics {
+		if m.Name == name && len(m.Points) > 0 {
+			return m.Points[0].Value, true
+		}
+	}
+	return 0, false
+}
+
+// needSchedSim explains why a check skipped.
+func needSchedSim(a *analysis) string {
+	if a.s == nil {
+		return "no schedule supplied to derive expected values from"
+	}
+	return "no exact simulator spans in evidence (wall-clock runs carry link tracks only)"
+}

@@ -1,0 +1,70 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bwc/internal/obs"
+)
+
+// Evidence is the raw material of an analysis: the spans of a run and,
+// when analyzing a live scope, its metric snapshot. File-based evidence
+// (ReadEvidence) has spans only.
+type Evidence struct {
+	Spans   []obs.Span
+	Metrics []obs.Metric
+}
+
+// FromScope snapshots a live scope. A nil/disabled scope yields empty
+// evidence (every check will SKIP).
+func FromScope(sc *obs.Scope) *Evidence {
+	if !sc.Enabled() {
+		return &Evidence{}
+	}
+	return &Evidence{Spans: sc.Spans(), Metrics: sc.Registry().Snapshot()}
+}
+
+// ReadEvidence reads offline evidence from r, accepting either of the two
+// formats the exporters write: a Chrome trace-event JSON document
+// (Scope.WriteChromeTrace) or span-tagged JSONL (Scope.WriteSpansJSONL,
+// possibly interleaved with streaming event lines). The format is sniffed
+// from the content: a single JSON object with a traceEvents member is a
+// Chrome trace, anything else is treated as JSONL.
+func ReadEvidence(r io.Reader) (*Evidence, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if isChromeTrace(data) {
+		spans, err := obs.ReadChromeTraceSpans(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return &Evidence{Spans: spans}, nil
+	}
+	spans, err := obs.ReadSpansJSONL(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("analyze: no spans found (expected a Chrome trace or span-tagged JSONL)")
+	}
+	return &Evidence{Spans: spans}, nil
+}
+
+// isChromeTrace reports whether data is one JSON object with a
+// traceEvents member. JSONL files also start with '{', but each line is a
+// small object without that member, so decoding the first value settles
+// it.
+func isChromeTrace(data []byte) bool {
+	var probe struct {
+		TraceEvents *json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&probe); err != nil {
+		return false
+	}
+	return probe.TraceEvents != nil
+}

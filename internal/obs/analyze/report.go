@@ -1,0 +1,113 @@
+// Package analyze turns the telemetry of an observed run into verdicts
+// against the paper's theory. Where internal/obs records what happened
+// (spans, counters, gauges), this package decides whether what happened is
+// what Banino's analysis says must happen: every node computing at its
+// solver rate η (Section 4), the single-port constraint never violated
+// (Section 3), links driven at exactly η_i·c_i (Lemma 1), buffers bounded
+// by χ = η_{-1}·T_0 (Proposition 3, Section 6.3), steady state reached
+// within the Proposition 4 start-up bound with useful work done on the
+// way, and no resource idling while work is backlogged.
+//
+// Evidence comes from a live *obs.Scope (FromScope) or from files written
+// by the exporters — Chrome trace-event JSON or span-tagged JSONL
+// (ReadEvidence). All timing checks use the exact rational timestamps the
+// producers recorded; no floats enter a verdict except as display ratios
+// and explicitly tolerant thresholds.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Verdict is the outcome of one conformance check.
+type Verdict string
+
+const (
+	// Pass: the evidence conforms to the paper's prediction.
+	Pass Verdict = "PASS"
+	// Fail: the evidence contradicts the prediction.
+	Fail Verdict = "FAIL"
+	// Skip: the evidence needed for the check is absent (e.g. a
+	// wall-clock run has no exact compute spans, or no schedule was
+	// supplied to derive expected values from).
+	Skip Verdict = "SKIP"
+)
+
+// Check is one conformance verdict with its supporting evidence.
+type Check struct {
+	// Name identifies the check ("throughput-conformance", ...).
+	Name string `json:"name"`
+	// Verdict is PASS, FAIL or SKIP.
+	Verdict Verdict `json:"verdict"`
+	// Detail is a one-line summary of the outcome.
+	Detail string `json:"detail"`
+	// Evidence holds per-node / per-link lines backing the verdict.
+	Evidence []string `json:"evidence,omitempty"`
+}
+
+// HealthReport is the structured outcome of analyzing one run.
+type HealthReport struct {
+	Checks  []Check `json:"checks"`
+	Passed  int     `json:"passed"`
+	Failed  int     `json:"failed"`
+	Skipped int     `json:"skipped"`
+}
+
+// add appends a check and updates the tallies.
+func (r *HealthReport) add(c Check) {
+	r.Checks = append(r.Checks, c)
+	switch c.Verdict {
+	case Pass:
+		r.Passed++
+	case Fail:
+		r.Failed++
+	default:
+		r.Skipped++
+	}
+}
+
+// Healthy reports whether no check failed.
+func (r *HealthReport) Healthy() bool { return r.Failed == 0 }
+
+// Check returns the named check, or nil.
+func (r *HealthReport) Check(name string) *Check {
+	for i := range r.Checks {
+		if r.Checks[i].Name == name {
+			return &r.Checks[i]
+		}
+	}
+	return nil
+}
+
+// WriteText renders the report for terminals: one line per check with its
+// verdict, followed by indented evidence lines for failures.
+func (r *HealthReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "conformance: %d passed, %d failed, %d skipped\n",
+		r.Passed, r.Failed, r.Skipped); err != nil {
+		return err
+	}
+	for _, c := range r.Checks {
+		if _, err := fmt.Fprintf(w, "%-4s %-24s %s\n", c.Verdict, c.Name, c.Detail); err != nil {
+			return err
+		}
+		// Evidence is printed for failures (the lines that justify the
+		// verdict); passing checks keep the report scannable.
+		if c.Verdict == Fail {
+			for _, e := range c.Evidence {
+				if _, err := fmt.Fprintf(w, "       %s\n", e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *HealthReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -2,7 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math/big"
+	"sort"
 
 	"bwc/internal/rat"
 )
@@ -90,4 +93,91 @@ func (s *Scope) WriteChromeTrace(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)
+}
+
+// ReadChromeTraceSpans reconstructs the recorded spans from a Chrome
+// trace-event JSON document written by WriteChromeTrace: thread_name
+// metadata restores each span's track and the exact rational bounds travel
+// in args ("start"/"end"); documents without those args fall back to the
+// microsecond timestamps. Spans are returned in ID (creation) order.
+func ReadChromeTraceSpans(r io.Reader) ([]Span, error) {
+	var doc chromeTrace
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("obs: chrome trace: %v", err)
+	}
+	tracks := map[int]string{}
+	var out []Span
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				if name, ok := ev.Args["name"].(string); ok {
+					tracks[ev.Tid] = name
+				}
+			}
+		case "X":
+			sp := Span{Name: ev.Name, Track: tracks[ev.Tid]}
+			var haveStart, haveEnd bool
+			for k, v := range ev.Args {
+				switch k {
+				case "start":
+					if s, ok := v.(string); ok {
+						if x, err := rat.Parse(s); err == nil {
+							sp.Start, haveStart = x, true
+						}
+					}
+				case "end":
+					if s, ok := v.(string); ok {
+						if x, err := rat.Parse(s); err == nil {
+							sp.End, haveEnd = x, true
+						}
+					}
+				case "span":
+					sp.ID = SpanID(asInt64(v))
+				case "parent":
+					sp.Parent = SpanID(asInt64(v))
+				default:
+					if s, ok := v.(string); ok {
+						sp.Attrs = append(sp.Attrs, A(k, s))
+					}
+				}
+			}
+			if !haveStart {
+				sp.Start = fromMicro(ev.Ts)
+			}
+			if !haveEnd {
+				end := ev.Ts
+				if ev.Dur != nil {
+					end += *ev.Dur
+				}
+				sp.End = fromMicro(end)
+			}
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	// Documents from other producers may lack span IDs; assign creation
+	// order so downstream consumers always see unique IDs.
+	for i := range out {
+		if out[i].ID == 0 {
+			out[i].ID = SpanID(i + 1)
+		}
+	}
+	return out, nil
+}
+
+// asInt64 converts a JSON-decoded number (float64) to int64.
+func asInt64(v any) int64 {
+	f, _ := v.(float64)
+	return int64(f)
+}
+
+// fromMicro maps fractional microseconds back to the rational second axis
+// (inexact: float round-trip; only used for foreign documents).
+func fromMicro(us float64) rat.R {
+	br := new(big.Rat).SetFloat64(us / 1e6)
+	if br == nil {
+		return rat.Zero
+	}
+	return rat.FromBigRat(br)
 }

@@ -154,3 +154,40 @@ func TestJSONLSinkRoundTrip(t *testing.T) {
 		t.Fatal("virtual timestamp missing")
 	}
 }
+
+// TestWritePrometheusLabeledHistogram pins the exact exposition block of
+// a labeled histogram family: children in sorted label-value order, the
+// family label preceding le inside every bucket's braces, cumulative
+// counts, and labeled _sum/_count lines — the canonical client_golang
+// ordering Prometheus scrapers rely on.
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	s := New()
+	r := s.Registry()
+	// Register the children out of order to prove the output sorts.
+	p2 := r.HistogramLabeled("bwc_task_seconds", "per-task latency", []float64{1, 2.5}, "node", "P2")
+	p1 := r.HistogramLabeled("bwc_task_seconds", "per-task latency", []float64{1, 2.5}, "node", "P1")
+	p1.Observe(0.5)
+	p1.Observe(2)
+	p2.Observe(3)
+
+	var sb strings.Builder
+	if err := s.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP bwc_task_seconds per-task latency
+# TYPE bwc_task_seconds histogram
+bwc_task_seconds_bucket{node="P1",le="1"} 1
+bwc_task_seconds_bucket{node="P1",le="2.5"} 2
+bwc_task_seconds_bucket{node="P1",le="+Inf"} 2
+bwc_task_seconds_sum{node="P1"} 2.5
+bwc_task_seconds_count{node="P1"} 2
+bwc_task_seconds_bucket{node="P2",le="1"} 0
+bwc_task_seconds_bucket{node="P2",le="2.5"} 0
+bwc_task_seconds_bucket{node="P2",le="+Inf"} 1
+bwc_task_seconds_sum{node="P2"} 3
+bwc_task_seconds_count{node="P2"} 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("labeled histogram exposition:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -120,6 +120,42 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation within the bucket that holds the
+// rank, the standard fixed-bucket estimator (Prometheus's
+// histogram_quantile). The first bucket interpolates from 0 (or from its
+// upper bound when that is negative); ranks falling in the +Inf bucket
+// return the highest finite bound. NaN when the histogram is empty or q is
+// outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, ub := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lb := 0.0
+			if i > 0 {
+				lb = h.bounds[i-1]
+			} else if ub < 0 {
+				lb = ub
+			}
+			return lb + (ub-lb)*(rank-cum)/c
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 {
 	if h == nil {
@@ -137,14 +173,17 @@ const (
 	kindHistogram
 	kindCounterVec
 	kindGaugeVec
+	kindHistogramVec
 )
 
-// vec holds the labeled children of a counter or gauge family.
+// vec holds the labeled children of a counter, gauge or histogram family.
 type vec struct {
 	label    string
+	bounds   []float64 // histogram families only, captured at registration
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // metric is one registered metric family.
@@ -262,6 +301,38 @@ func (r *Registry) CounterLabeled(name, help, label, value string) *Counter {
 	return c
 }
 
+// HistogramLabeled registers (or finds) the child of a labeled histogram
+// family, e.g. per-node latency histograms. The bucket bounds are captured
+// from the first registration of the family; every child shares them (the
+// Prometheus exposition requires identical buckets across a family).
+func (r *Registry) HistogramLabeled(name, help string, bounds []float64, label, value string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	m := r.lookup(name, help, kindHistogramVec)
+	if m.vec == nil {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not increasing", name))
+			}
+		}
+		m.vec = &vec{label: label, bounds: append([]float64(nil), bounds...), hists: map[string]*Histogram{}}
+	}
+	v := m.vec
+	r.mu.Unlock()
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.hists[value]
+	if !ok {
+		h = &Histogram{bounds: v.bounds}
+		h.counts = make([]atomic.Int64, len(v.bounds)+1)
+		v.hists[value] = h
+	}
+	return h
+}
+
 // GaugeLabeled registers (or finds) the child of a labeled gauge family.
 func (r *Registry) GaugeLabeled(name, help, label, value string) *Gauge {
 	if r == nil {
@@ -301,13 +372,36 @@ type HistogramPoint struct {
 	Count  int64
 }
 
+// LabeledHistogram is one child of a labeled histogram family in a
+// Snapshot.
+type LabeledHistogram struct {
+	Label      string
+	LabelValue string
+	Hist       HistogramPoint
+}
+
 // Metric is one metric family in a Snapshot.
 type Metric struct {
 	Name      string
 	Help      string
 	Type      string // "counter", "gauge" or "histogram"
 	Points    []Point
-	Histogram *HistogramPoint // non-nil only for histograms
+	Histogram *HistogramPoint    // non-nil only for unlabeled histograms
+	Labeled   []LabeledHistogram // non-empty only for labeled histogram families
+}
+
+// snapshotHist reads one histogram atomically bucket by bucket.
+func snapshotHist(h *Histogram) HistogramPoint {
+	hp := HistogramPoint{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		hp.Counts[i] = h.counts[i].Load()
+	}
+	return hp
 }
 
 // Snapshot returns a point-in-time copy of every registered metric, in
@@ -334,17 +428,23 @@ func (r *Registry) Snapshot() []Metric {
 			e.Points = []Point{{Value: float64(m.gge.Value())}}
 		case kindHistogram:
 			e.Type = "histogram"
-			h := m.hist
-			hp := &HistogramPoint{
-				Bounds: append([]float64(nil), h.bounds...),
-				Counts: make([]int64, len(h.counts)),
-				Sum:    h.Sum(),
-				Count:  h.Count(),
+			hp := snapshotHist(m.hist)
+			e.Histogram = &hp
+		case kindHistogramVec:
+			e.Type = "histogram"
+			v := m.vec
+			v.mu.Lock()
+			keys := make([]string, 0, len(v.hists))
+			for k := range v.hists {
+				keys = append(keys, k)
 			}
-			for i := range h.counts {
-				hp.Counts[i] = h.counts[i].Load()
+			sort.Strings(keys)
+			for _, k := range keys {
+				e.Labeled = append(e.Labeled, LabeledHistogram{
+					Label: v.label, LabelValue: k, Hist: snapshotHist(v.hists[k]),
+				})
 			}
-			e.Histogram = hp
+			v.mu.Unlock()
 		case kindCounterVec, kindGaugeVec:
 			e.Type = "counter"
 			if m.kind == kindGaugeVec {

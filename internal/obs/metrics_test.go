@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"testing"
 )
@@ -154,5 +155,79 @@ func TestConcurrentInstruments(t *testing.T) {
 	}
 	if n := r.CounterLabeled("v", "", "node", "n").Value(); n != workers*per {
 		t.Fatalf("labeled counter = %d", n)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 4, 8})
+
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("empty histogram Quantile = %v, want NaN", v)
+	}
+
+	// 10 observations in (1,2], 10 in (2,4].
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	for _, c := range []struct{ q, want float64 }{
+		{0.25, 1.5}, // rank 5 of 10 in (1,2]: 1 + 1·(5/10)
+		{0.5, 2},    // rank 10 closes the (1,2] bucket exactly
+		{0.75, 3},   // rank 15, 5 of 10 into (2,4]: 2 + 2·(5/10)
+		{1, 4},
+	} {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// First bucket interpolates from 0; the +Inf bucket saturates at the
+	// highest finite bound.
+	h2 := r.Histogram("q2", "", []float64{10})
+	h2.Observe(4)
+	if got := h2.Quantile(0.5); math.Abs(got-5) > 1e-12 {
+		t.Errorf("first-bucket Quantile(0.5) = %v, want 5", got)
+	}
+	h2.Observe(1000)
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Errorf("overflow Quantile(0.99) = %v, want 10 (highest finite bound)", got)
+	}
+
+	if v := h.Quantile(-0.1); !math.IsNaN(v) {
+		t.Errorf("Quantile(-0.1) = %v, want NaN", v)
+	}
+	if v := h.Quantile(1.1); !math.IsNaN(v) {
+		t.Errorf("Quantile(1.1) = %v, want NaN", v)
+	}
+	var nilH *Histogram
+	if v := nilH.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("nil Quantile = %v, want NaN", v)
+	}
+}
+
+func TestHistogramLabeledSharesBoundsAndIsolatesCounts(t *testing.T) {
+	r := NewRegistry()
+	a := r.HistogramLabeled("lat", "", []float64{1, 2}, "node", "P1")
+	// Second registration's differing bounds are ignored: a Prometheus
+	// family must share one bucket layout.
+	b := r.HistogramLabeled("lat", "", []float64{100, 200}, "node", "P2")
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(1.5)
+	if r.HistogramLabeled("lat", "", nil, "node", "P1") != a {
+		t.Fatal("re-registration returned a different child")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Labeled) != 2 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	for _, lh := range snap[0].Labeled {
+		if len(lh.Hist.Bounds) != 2 || lh.Hist.Bounds[0] != 1 {
+			t.Fatalf("child %s bounds %v, want the family's [1 2]", lh.LabelValue, lh.Hist.Bounds)
+		}
+	}
+	if a.Count() != 1 || b.Count() != 2 {
+		t.Fatalf("counts %d/%d, want 1/2", a.Count(), b.Count())
 	}
 }

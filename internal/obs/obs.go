@@ -52,6 +52,12 @@ type Span struct {
 	Attrs []Attr
 }
 
+// spanChunk is the allocation unit of the span store: spans are appended
+// into fixed-capacity chunks so recording never copies previously stored
+// spans (append-grow on one big slice would) and the per-span amortized
+// cost is one bump of a length counter.
+const spanChunk = 256
+
 // Scope is one observability session: a registry, a span store and a set
 // of event sinks shared by every producer of one run (or of one process).
 // The nil *Scope is the disabled state: every method is a cheap no-op, so
@@ -59,10 +65,12 @@ type Span struct {
 type Scope struct {
 	start time.Time
 
-	mu    sync.Mutex
-	reg   *Registry
-	spans []Span
-	clock func() rat.R
+	mu      sync.Mutex
+	reg     *Registry
+	chunks  [][]Span // fixed-capacity spanChunk blocks, only the last grows
+	nspans  int
+	pending []func() []Span // deferred producers, drained on first read
+	clock   func() rat.R
 
 	seq   atomic.Uint64
 	sinks atomic.Pointer[[]Sink]
@@ -113,6 +121,52 @@ func (s *Scope) Now() rat.R {
 	return rat.New(time.Since(s.start).Nanoseconds(), 1_000_000_000)
 }
 
+// nowLocked is Now with s.mu already held. Installed clocks must not call
+// back into the scope (the engine clocks used in practice never do).
+func (s *Scope) nowLocked() rat.R {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return rat.New(time.Since(s.start).Nanoseconds(), 1_000_000_000)
+}
+
+// appendLocked stores sp (its ID already assigned), extending the chunk
+// list when the current chunk is full.
+func (s *Scope) appendLocked(sp Span) {
+	if n := len(s.chunks); n == 0 || len(s.chunks[n-1]) == spanChunk {
+		s.chunks = append(s.chunks, make([]Span, 0, spanChunk))
+	}
+	c := &s.chunks[len(s.chunks)-1]
+	*c = append(*c, sp)
+	s.nspans++
+}
+
+// flushLocked materializes every deferred span producer. Called (with
+// s.mu held) before any operation that assigns IDs or reads the store, so
+// deferred spans are indistinguishable from eagerly recorded ones.
+func (s *Scope) flushLocked() {
+	if len(s.pending) == 0 {
+		return
+	}
+	pending := s.pending
+	s.pending = nil
+	for _, fn := range pending {
+		for _, sp := range fn() {
+			sp.ID = SpanID(s.nspans + 1)
+			s.appendLocked(sp)
+		}
+	}
+}
+
+// spanLocked returns the stored span with the given ID (nil if unknown).
+func (s *Scope) spanLocked(id SpanID) *Span {
+	i := int(id) - 1
+	if i < 0 || i >= s.nspans {
+		return nil
+	}
+	return &s.chunks[i/spanChunk][i%spanChunk]
+}
+
 // StartSpan opens a span at Now. parent 0 makes it a root of the causality
 // forest. The returned ID is passed to EndSpan and used as the parent of
 // child spans.
@@ -120,11 +174,12 @@ func (s *Scope) StartSpan(name, track string, parent SpanID) SpanID {
 	if s == nil {
 		return 0
 	}
-	at := s.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	id := SpanID(len(s.spans) + 1)
-	s.spans = append(s.spans, Span{ID: id, Parent: parent, Name: name, Track: track, Start: at, End: at})
+	s.flushLocked()
+	at := s.nowLocked()
+	id := SpanID(s.nspans + 1)
+	s.appendLocked(Span{ID: id, Parent: parent, Name: name, Track: track, Start: at, End: at})
 	return id
 }
 
@@ -134,14 +189,14 @@ func (s *Scope) EndSpan(id SpanID, attrs ...Attr) {
 	if s == nil || id == 0 {
 		return
 	}
-	at := s.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if int(id) > len(s.spans) {
+	s.flushLocked()
+	sp := s.spanLocked(id)
+	if sp == nil {
 		return
 	}
-	sp := &s.spans[id-1]
-	sp.End = at
+	sp.End = s.nowLocked()
 	sp.Attrs = append(sp.Attrs, attrs...)
 }
 
@@ -154,9 +209,46 @@ func (s *Scope) AddSpan(sp Span) SpanID {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sp.ID = SpanID(len(s.spans) + 1)
-	s.spans = append(s.spans, sp)
+	s.flushLocked()
+	sp.ID = SpanID(s.nspans + 1)
+	s.appendLocked(sp)
 	return sp.ID
+}
+
+// AddSpans records a batch of complete spans under one lock acquisition,
+// assigning sequential IDs and returning the first. This is the bulk
+// import path for producers that buffer their intervals elsewhere during a
+// run (the simulator's trace) and convert them to spans once at the end,
+// keeping per-event hot loops free of span bookkeeping.
+func (s *Scope) AddSpans(sps []Span) SpanID {
+	if s == nil || len(sps) == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	first := SpanID(s.nspans + 1)
+	for i := range sps {
+		sp := sps[i]
+		sp.ID = SpanID(s.nspans + 1)
+		s.appendLocked(sp)
+	}
+	return first
+}
+
+// AddDeferredSpans registers a producer whose spans are materialized (and
+// assigned IDs) lazily, on the first subsequent read or span write. This
+// keeps bulk span conversion entirely off the producing hot path: a run
+// that is never inspected never pays for it, and one that is pays once at
+// read time. fn runs with the scope lock held and must not call back into
+// the scope.
+func (s *Scope) AddDeferredSpans(fn func() []Span) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, fn)
+	s.mu.Unlock()
 }
 
 // Spans returns a copy of every recorded span in creation order.
@@ -166,7 +258,23 @@ func (s *Scope) Spans() []Span {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]Span(nil), s.spans...)
+	s.flushLocked()
+	out := make([]Span, 0, s.nspans)
+	for _, c := range s.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// SpanCount returns the number of recorded spans without copying them.
+func (s *Scope) SpanCount() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	return s.nspans
 }
 
 // SpansOnTrack returns the recorded spans whose Track equals track.

@@ -26,22 +26,20 @@ func (s *Scope) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		if m.Histogram != nil {
-			h := m.Histogram
-			cum := int64(0)
-			for i, b := range h.Bounds {
-				cum += h.Counts[i]
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, formatFloat(b), cum); err != nil {
+			if err := writeHist(w, m.Name, "", *m.Histogram); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(m.Labeled) > 0 {
+			// Labeled children in sorted label-value order; within each
+			// child the family label precedes le, matching the canonical
+			// client_golang ordering.
+			for _, lh := range m.Labeled {
+				prefix := fmt.Sprintf("%s=%q,", lh.Label, escapeLabel(lh.LabelValue))
+				if err := writeHist(w, m.Name, prefix, lh.Hist); err != nil {
 					return err
 				}
-			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.Name, h.Count); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.Name, formatFloat(h.Sum)); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintf(w, "%s_count %d\n", m.Name, h.Count); err != nil {
-				return err
 			}
 			continue
 		}
@@ -56,6 +54,31 @@ func (s *Scope) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeHist renders one histogram (child) as cumulative _bucket series
+// plus _sum and _count. labelPrefix is either empty or `name="value",` —
+// the family label that precedes le inside the braces.
+func writeHist(w io.Writer, name, labelPrefix string, h HistogramPoint) error {
+	cum := int64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labelPrefix, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix, h.Count); err != nil {
+		return err
+	}
+	suffix := ""
+	if labelPrefix != "" {
+		suffix = "{" + strings.TrimSuffix(labelPrefix, ",") + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count)
+	return err
 }
 
 // formatFloat renders a float the way Prometheus expects: integers without

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"bwc/internal/rat"
+)
+
+// spanRecord is the JSONL wire form of one span. The "type":"span" tag
+// distinguishes span lines from the event lines of the streaming log, so
+// one file can hold both and stay parseable line by line.
+type spanRecord struct {
+	Type   string `json:"type"`
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Track  string `json:"track"`
+	Start  string `json:"start"`
+	End    string `json:"end"`
+	Attrs  []Attr `json:"attrs,omitempty"`
+}
+
+// WriteSpansJSONL writes every recorded span as one JSON line tagged
+// "type":"span", with exact rational bounds. Appended to a streaming event
+// log (AttachJSONL) after the run, it makes the file self-contained
+// offline evidence for the conformance analyzer.
+func (s *Scope) WriteSpansJSONL(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range s.Spans() {
+		rec := spanRecord{
+			Type:   "span",
+			ID:     int64(sp.ID),
+			Parent: int64(sp.Parent),
+			Name:   sp.Name,
+			Track:  sp.Track,
+			Start:  sp.Start.String(),
+			End:    sp.End.String(),
+			Attrs:  sp.Attrs,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpansJSONL reads the span lines (tagged "type":"span") out of a
+// JSONL stream, ignoring event lines, blank lines and unknown records.
+// Spans are returned in ID order.
+func ReadSpansJSONL(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Span
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || !strings.Contains(text, `"type":"span"`) {
+			continue
+		}
+		var rec spanRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %v", line, err)
+		}
+		if rec.Type != "span" {
+			continue
+		}
+		start, err := rat.Parse(rec.Start)
+		if err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: bad start %q: %v", line, rec.Start, err)
+		}
+		end, err := rat.Parse(rec.End)
+		if err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: bad end %q: %v", line, rec.End, err)
+		}
+		out = append(out, Span{
+			ID:     SpanID(rec.ID),
+			Parent: SpanID(rec.Parent),
+			Name:   rec.Name,
+			Track:  rec.Track,
+			Start:  start,
+			End:    end,
+			Attrs:  rec.Attrs,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

@@ -1,0 +1,259 @@
+// Live conformance endpoints: /healthz turns the scope's metrics into
+// machine-readable verdicts against the schedule's expectations while a
+// run is in flight, and / renders the same numbers as a self-contained
+// HTML dashboard (per-node progress vs the solver's α shares, buffer
+// occupancy vs the χ bound). Both are metric-based — cheap enough to poll
+// — where internal/obs/analyze does the exact span-level post-mortem.
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"math/big"
+	"net/http"
+
+	"bwc/internal/obs"
+	"bwc/internal/sched"
+	"bwc/internal/tree"
+)
+
+// healthStatus is the /healthz document.
+type healthStatus struct {
+	Healthy bool          `json:"healthy"`
+	Checks  []healthCheck `json:"checks"`
+	Nodes   []nodeHealth  `json:"nodes,omitempty"`
+}
+
+type healthCheck struct {
+	Name    string `json:"name"`
+	Verdict string `json:"verdict"` // PASS, FAIL or SKIP
+	Detail  string `json:"detail"`
+}
+
+// nodeHealth is one computing node's live numbers.
+type nodeHealth struct {
+	Node      string  `json:"node"`
+	Done      int64   `json:"done"`
+	Share     float64 `json:"share"`    // fraction of all completions
+	Expected  float64 `json:"expected"` // α_i / ρ*
+	Buffer    int64   `json:"buffer"`
+	BufferMax int64   `json:"buffer_max"`
+	Chi       int64   `json:"chi"` // 0 when no schedule or inactive
+}
+
+// minHealthSamples is how many completions must exist before the share
+// check renders a verdict; below it the run is still starting up.
+const minHealthSamples = 50
+
+// shareTolerance is how far below its expected completion share a node
+// may run before the live check flags it. Live shares wobble with phase
+// alignment, so this is deliberately looser than the offline analyzer's
+// exact window estimator.
+const shareTolerance = 0.25
+
+// labeledValues extracts a labeled int-valued family from a snapshot.
+func labeledValues(ms []obs.Metric, name string) map[string]int64 {
+	for _, m := range ms {
+		if m.Name != name || len(m.Points) == 0 {
+			continue
+		}
+		out := make(map[string]int64, len(m.Points))
+		for _, p := range m.Points {
+			out[p.LabelValue] = int64(p.Value)
+		}
+		return out
+	}
+	return nil
+}
+
+// evalHealth derives live verdicts from the scope's current metrics.
+func evalHealth(sc *obs.Scope, s *sched.Schedule) healthStatus {
+	ms := sc.Registry().Snapshot()
+	// Per-node completions: the simulator and the wall-clock runtime each
+	// publish their own family.
+	done := labeledValues(ms, "bwc_node_tasks_completed_total")
+	if done == nil {
+		done = labeledValues(ms, "bwc_runtime_tasks_executed_total")
+	}
+	buf := labeledValues(ms, "bwc_node_buffer_tasks")
+	bufMax := labeledValues(ms, "bwc_node_buffer_max_tasks")
+
+	st := healthStatus{Healthy: true}
+	add := func(c healthCheck) {
+		st.Checks = append(st.Checks, c)
+		if c.Verdict == "FAIL" {
+			st.Healthy = false
+		}
+	}
+
+	var total int64
+	for _, v := range done {
+		total += v
+	}
+
+	if s == nil {
+		add(healthCheck{"throughput-share", "SKIP", "no schedule to compare against"})
+		add(healthCheck{"buffer-watermark", "SKIP", "no schedule to compare against"})
+		return st
+	}
+
+	t := s.Tree
+	rho := s.Res.Throughput.Float64()
+	shareFail, bufFail := 0, 0
+	for id := 0; id < t.Len(); id++ {
+		nid := tree.NodeID(id)
+		if t.IsSwitch(nid) {
+			continue
+		}
+		ns := &s.Nodes[id]
+		name := t.Name(nid)
+		nh := nodeHealth{
+			Node:      name,
+			Done:      done[name],
+			Buffer:    buf[name],
+			BufferMax: bufMax[name],
+		}
+		if total > 0 {
+			nh.Share = float64(nh.Done) / float64(total)
+		}
+		if ns.Active && rho > 0 {
+			nh.Expected = ns.Alpha.Float64() / rho
+		}
+		if ns.Active && nid != t.Root() {
+			chi := s.Chi(nid)
+			nh.Chi = chi.Int64()
+			if bufMax != nil && chi.Cmp(big.NewInt(nh.BufferMax)) < 0 {
+				bufFail++
+			}
+		}
+		if total >= minHealthSamples && nh.Expected > 0 &&
+			nh.Share < nh.Expected*(1-shareTolerance) {
+			shareFail++
+		}
+		st.Nodes = append(st.Nodes, nh)
+	}
+
+	switch {
+	case done == nil:
+		add(healthCheck{"throughput-share", "SKIP", "no per-node completion counters yet"})
+	case total < minHealthSamples:
+		add(healthCheck{"throughput-share", "SKIP",
+			fmt.Sprintf("%d completions, need %d for a verdict", total, minHealthSamples)})
+	case shareFail > 0:
+		add(healthCheck{"throughput-share", "FAIL",
+			fmt.Sprintf("%d nodes below %.0f%% of their α share of %d completions",
+				shareFail, (1-shareTolerance)*100, total)})
+	default:
+		add(healthCheck{"throughput-share", "PASS",
+			fmt.Sprintf("every node at its α share of %d completions", total)})
+	}
+
+	switch {
+	case bufMax == nil:
+		add(healthCheck{"buffer-watermark", "SKIP", "no buffer gauges in scope"})
+	case bufFail > 0:
+		add(healthCheck{"buffer-watermark", "FAIL",
+			fmt.Sprintf("%d nodes above their χ bound", bufFail)})
+	default:
+		add(healthCheck{"buffer-watermark", "PASS", "every buffer within its χ bound"})
+	}
+	return st
+}
+
+// ServeHealth is ServeMetrics plus the live conformance endpoints: a
+// dashboard at / and machine-readable verdicts at /healthz (HTTP 503
+// when any check fails, so it plugs into ordinary readiness probes).
+// s supplies the expected values; with a nil schedule the conformance
+// checks report SKIP and the endpoint stays 200.
+func ServeHealth(sc *obs.Scope, s *sched.Schedule, addr string) (*MetricsServer, error) {
+	return serveMux(sc, addr, func(mux *http.ServeMux) {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			st := evalHealth(sc, s)
+			w.Header().Set("Content-Type", "application/json")
+			if !st.Healthy {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(st)
+		})
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/" {
+				http.NotFound(w, r)
+				return
+			}
+			st := evalHealth(sc, s)
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			dashboardTmpl.Execute(w, dashboardData{Status: st})
+		})
+	})
+}
+
+type dashboardData struct {
+	Status healthStatus
+}
+
+// Bar widths for the template, clamped so a runaway buffer cannot blow
+// the layout apart.
+func (d dashboardData) SharePct(nh nodeHealth) float64    { return clampPct(nh.Share * 100) }
+func (d dashboardData) ExpectedPct(nh nodeHealth) float64 { return clampPct(nh.Expected * 100) }
+func (d dashboardData) BufferPct(nh nodeHealth) float64 {
+	if nh.Chi <= 0 {
+		return 0
+	}
+	return clampPct(float64(nh.Buffer) / float64(nh.Chi) * 100)
+}
+func (d dashboardData) OverChi(nh nodeHealth) bool {
+	return nh.Chi > 0 && nh.BufferMax > nh.Chi
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}
+
+// dashboardTmpl is the whole dashboard: no external assets, refreshes
+// itself every two seconds, readable over curl's --head for the verdict.
+var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><meta http-equiv="refresh" content="2">
+<title>bwc conformance</title>
+<style>
+body { font: 14px/1.4 system-ui, sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 18px; }
+table { border-collapse: collapse; margin-top: 1em; }
+td, th { padding: 4px 10px; text-align: left; vertical-align: middle; }
+th { border-bottom: 1px solid #999; font-weight: 600; }
+.bar { position: relative; width: 260px; height: 14px; background: #eee; }
+.bar .fill { position: absolute; inset: 0 auto 0 0; background: #4a90d9; }
+.bar .mark { position: absolute; top: -2px; bottom: -2px; width: 2px; background: #d9534a; }
+.bar.buf .fill { background: #7cb46b; }
+.over { color: #c0392b; font-weight: 600; }
+.PASS { color: #2e7d32; } .FAIL { color: #c0392b; } .SKIP { color: #888; }
+.verdict { font-weight: 700; }
+</style></head><body>
+<h1>bandwidth-centric conformance {{if .Status.Healthy}}<span class="PASS">healthy</span>{{else}}<span class="FAIL">UNHEALTHY</span>{{end}}</h1>
+<div>
+{{range .Status.Checks}}<div><span class="verdict {{.Verdict}}">{{.Verdict}}</span> {{.Name}} — {{.Detail}}</div>{{end}}
+</div>
+{{if .Status.Nodes}}
+<table>
+<tr><th>node</th><th>done</th><th>share vs α/ρ* <span style="color:#d9534a">|</span></th><th>buffer vs χ</th></tr>
+{{range .Status.Nodes}}
+<tr>
+<td>{{.Node}}</td>
+<td>{{.Done}}</td>
+<td><div class="bar"><div class="fill" style="width:{{$.SharePct .}}%"></div><div class="mark" style="left:{{$.ExpectedPct .}}%"></div></div></td>
+<td>{{if gt .Chi 0}}<div class="bar buf"><div class="fill" style="width:{{$.BufferPct .}}%"></div></div> {{.Buffer}}/{{.Chi}}{{if $.OverChi .}} <span class="over">peak {{.BufferMax}} &gt; χ</span>{{end}}{{else}}—{{end}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
+<p style="color:#888">metrics at <a href="/metrics">/metrics</a>, verdicts at <a href="/healthz">/healthz</a>; refreshes every 2s</p>
+</body></html>
+`))

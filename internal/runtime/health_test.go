@@ -1,0 +1,189 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"bwc/internal/bwfirst"
+	"bwc/internal/obs"
+	"bwc/internal/paperexample"
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/sim"
+)
+
+// healthyScope simulates the paper example under observation and returns
+// the scope plus its schedule — a scope whose metrics satisfy every live
+// check.
+func healthyScope(t *testing.T) (*obs.Scope, *sched.Schedule) {
+	t.Helper()
+	s, err := sched.Build(bwfirst.Solve(paperexample.Tree()), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := obs.New()
+	if _, err := sim.Simulate(s, sim.Options{Stop: rat.FromInt(200), Obs: sc}); err != nil {
+		t.Fatal(err)
+	}
+	return sc, s
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(body)
+}
+
+// TestServeHealthEndpoints: a conforming run serves 200 on /healthz with
+// PASS verdicts, the dashboard renders every computing node, and /metrics
+// still works through the shared mux.
+func TestServeHealthEndpoints(t *testing.T) {
+	sc, s := healthyScope(t)
+	ms, err := ServeHealth(sc, s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	code, body := getBody(t, fmt.Sprintf("http://%s/healthz", ms.Addr))
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d:\n%s", code, body)
+	}
+	var st healthStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if !st.Healthy || len(st.Checks) != 2 {
+		t.Fatalf("healthz %+v", st)
+	}
+	for _, c := range st.Checks {
+		if c.Verdict != "PASS" {
+			t.Errorf("check %s = %s (%s), want PASS", c.Name, c.Verdict, c.Detail)
+		}
+	}
+
+	code, body = getBody(t, fmt.Sprintf("http://%s/", ms.Addr))
+	if code != http.StatusOK {
+		t.Fatalf("dashboard status %d", code)
+	}
+	for _, frag := range []string{"<!DOCTYPE html>", "P1", "P8", "healthy"} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("dashboard missing %q", frag)
+		}
+	}
+	if code, _ = getBody(t, fmt.Sprintf("http://%s/metrics", ms.Addr)); code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if code, _ = getBody(t, fmt.Sprintf("http://%s/nope", ms.Addr)); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+// TestServeHealthUnhealthy: pushing one node's buffer gauge past its χ
+// bound must flip /healthz to 503 with a FAIL verdict — the readiness
+// contract monitoring systems consume.
+func TestServeHealthUnhealthy(t *testing.T) {
+	sc, s := healthyScope(t)
+	p1chi := s.Chi(s.Tree.MustLookup("P1")).Int64()
+	sc.Registry().GaugeLabeled("bwc_node_buffer_max_tasks", "", "node", "P1").Set(p1chi + 1)
+
+	ms, err := ServeHealth(sc, s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	code, body := getBody(t, fmt.Sprintf("http://%s/healthz", ms.Addr))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status %d, want 503:\n%s", code, body)
+	}
+	if !strings.Contains(body, `"buffer-watermark"`) || !strings.Contains(body, `"FAIL"`) {
+		t.Fatalf("healthz body does not name the failing check:\n%s", body)
+	}
+	if _, body = getBody(t, fmt.Sprintf("http://%s/", ms.Addr)); !strings.Contains(body, "UNHEALTHY") {
+		t.Fatal("dashboard does not surface the failure")
+	}
+}
+
+// TestServeHealthNoSchedule: without a schedule the checks SKIP and the
+// endpoint stays 200 — a metrics-only server is never "unhealthy".
+func TestServeHealthNoSchedule(t *testing.T) {
+	sc, _ := healthyScope(t)
+	ms, err := ServeHealth(sc, nil, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	code, body := getBody(t, fmt.Sprintf("http://%s/healthz", ms.Addr))
+	if code != http.StatusOK || !strings.Contains(body, `"SKIP"`) {
+		t.Fatalf("status %d body:\n%s", code, body)
+	}
+}
+
+// TestConcurrentScrape hammers /metrics and /healthz from many goroutines
+// while instruments keep writing — the data-race gate for the whole
+// metrics pipeline (run under -race by the Makefile).
+func TestConcurrentScrape(t *testing.T) {
+	sc, s := healthyScope(t)
+	ms, err := ServeHealth(sc, s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	reg := sc.Registry()
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			ctr := reg.Counter("bwc_scrape_churn_total", "")
+			g := reg.GaugeLabeled("bwc_node_buffer_tasks", "", "node", "P1")
+			h := reg.HistogramLabeled("bwc_scrape_hist", "", []float64{1, 2, 4}, "w", fmt.Sprint(w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctr.Inc()
+				g.Set(int64(i % 3))
+				h.Observe(float64(i % 5))
+				h.Quantile(0.99)
+			}
+		}(w)
+	}
+
+	var scrapers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 25; i++ {
+				for _, path := range []string{"/metrics", "/healthz", "/"} {
+					resp, err := http.Get(fmt.Sprintf("http://%s%s", ms.Addr, path))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bwc/internal/des"
+	"bwc/internal/obs"
 	"bwc/internal/rat"
 	"bwc/internal/sched"
 	"bwc/internal/trace"
@@ -50,6 +51,10 @@ type DynOptions struct {
 	MaxEvents uint64
 	// SkipIntervals suppresses Gantt interval recording.
 	SkipIntervals bool
+	// Obs, when enabled, instruments the run exactly like Options.Obs:
+	// spans per interval and DES batch, per-node buffer gauges, task and
+	// event counters. nil is the disabled fast path.
+	Obs *obs.Scope
 }
 
 // DynRun is the result of a dynamic simulation.
@@ -65,6 +70,8 @@ type DynRun struct {
 	WindDown rat.R
 	// MaxHeld is the peak buffered-task count over all nodes.
 	MaxHeld int
+	// Obs is the scope the run was observed with (nil when unobserved).
+	Obs *obs.Scope
 }
 
 // SimulateDynamic runs a multi-phase schedule over a platform whose
@@ -124,6 +131,9 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) {
 	for i := range sm.nodes {
 		sm.nodes[i] = nodeState{id: tree.NodeID(i), pattern: opt.Phases[0].Schedule.Nodes[i].Pattern}
 	}
+	if opt.Obs.Enabled() {
+		sm.initObs(opt.Obs)
+	}
 
 	// Physics swaps.
 	for _, pc := range opt.Physics {
@@ -149,16 +159,22 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) {
 		}
 		sm.genPhase(s, p.At, until, 0)
 	}
-	if err := sm.eng.Drain(opt.MaxEvents); err != nil {
+	if sm.sc != nil {
+		if err := sm.drainObserved(opt.MaxEvents); err != nil {
+			return nil, err
+		}
+	} else if err := sm.eng.Drain(opt.MaxEvents); err != nil {
 		return nil, err
 	}
 	sm.tr.End = sm.eng.Now()
+	sm.exportIntervalSpans()
 
 	run := &DynRun{
 		Trace:     sm.tr,
 		Generated: sm.stats.Generated,
 		Completed: sm.tr.TotalCompleted(),
 		Dropped:   sm.dropped,
+		Obs:       sm.sc,
 	}
 	if last, ok := sm.tr.LastCompletion(); ok && opt.Stop.Less(last) {
 		run.WindDown = last.Sub(opt.Stop)
@@ -203,6 +219,7 @@ func (sm *simulator) genPhase(s *sched.Schedule, start, until rat.R, p int64) {
 		dest := slot.Dest
 		sm.eng.At(at, func() {
 			sm.stats.Generated++
+			sm.genCtr.Inc()
 			sm.assign(sm.t.Root(), dest)
 		})
 	}

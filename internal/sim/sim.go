@@ -26,6 +26,7 @@ package sim
 import (
 	"fmt"
 	"math/big"
+	"strconv"
 
 	"bwc/internal/des"
 	"bwc/internal/obs"
@@ -103,6 +104,9 @@ type Run struct {
 	Schedule *sched.Schedule
 	Trace    *trace.Trace
 	Stats    Stats
+	// Obs is the scope the run was observed with (nil when unobserved);
+	// it carries the spans and metrics conformance analysis consumes.
+	Obs *obs.Scope
 }
 
 type nodeState struct {
@@ -141,9 +145,12 @@ type simulator struct {
 	batchHist *obs.Histogram
 	bufG      []*obs.Gauge
 	bufMaxG   []*obs.Gauge
+	doneNode  []*obs.Counter
 	trkC      []string
 	trkS      []string
 	trkR      []string
+	sendNm    []string // "send <node>", indexed by destination node
+	recvNm    []string // "recv <node>", indexed by sending node
 }
 
 // initObs registers the simulation's instruments on sc. Gauge families
@@ -164,18 +171,25 @@ func (sm *simulator) initObs(sc *obs.Scope) {
 	n := sm.t.Len()
 	sm.bufG = make([]*obs.Gauge, n)
 	sm.bufMaxG = make([]*obs.Gauge, n)
+	sm.doneNode = make([]*obs.Counter, n)
 	sm.trkC = make([]string, n)
 	sm.trkS = make([]string, n)
 	sm.trkR = make([]string, n)
+	sm.sendNm = make([]string, n)
+	sm.recvNm = make([]string, n)
 	for i := 0; i < n; i++ {
 		name := sm.t.Name(tree.NodeID(i))
 		sm.bufG[i] = reg.GaugeLabeled("bwc_node_buffer_tasks",
 			"tasks buffered at the node (compute + send queues)", "node", name)
 		sm.bufMaxG[i] = reg.GaugeLabeled("bwc_node_buffer_max_tasks",
 			"peak buffered-task count at the node", "node", name)
+		sm.doneNode[i] = reg.CounterLabeled("bwc_node_tasks_completed_total",
+			"tasks executed by the node", "node", name)
 		sm.trkC[i] = name + "/C"
 		sm.trkS[i] = name + "/S"
 		sm.trkR[i] = name + "/R"
+		sm.sendNm[i] = "send " + name
+		sm.recvNm[i] = "recv " + name
 	}
 }
 
@@ -264,7 +278,36 @@ func Simulate(s *sched.Schedule, opt Options) (*Run, error) {
 	}
 	sm.tr.End = sm.eng.Now()
 	sm.finishStats()
-	return &Run{Schedule: s, Trace: sm.tr, Stats: *st}, nil
+	sm.exportIntervalSpans()
+	return &Run{Schedule: s, Trace: sm.tr, Stats: *st, Obs: sm.sc}, nil
+}
+
+// exportIntervalSpans registers a deferred producer that converts the
+// recorded Gantt intervals into spans. During the run the trace is the
+// single store for interval data; duplicating every interval into the span
+// store as it happens costs ~10% of the whole simulation (lock + append +
+// GC barriers per event), so the observed run materializes spans lazily on
+// the first span read. Only SkipIntervals runs record spans inline (the
+// trace then has no intervals to convert).
+func (sm *simulator) exportIntervalSpans() {
+	if sm.sc == nil || sm.opt.SkipIntervals {
+		return
+	}
+	sm.sc.AddDeferredSpans(func() []obs.Span {
+		ivs := sm.tr.Intervals
+		sps := make([]obs.Span, 0, len(ivs))
+		for _, iv := range ivs {
+			switch iv.Kind {
+			case trace.Compute:
+				sps = append(sps, obs.Span{Name: "compute", Track: sm.trkC[iv.Node], Start: iv.Start, End: iv.End})
+			case trace.Send:
+				sps = append(sps, obs.Span{Name: sm.sendNm[iv.Peer], Track: sm.trkS[iv.Node], Start: iv.Start, End: iv.End})
+			case trace.Recv:
+				sps = append(sps, obs.Span{Name: sm.recvNm[iv.Peer], Track: sm.trkR[iv.Node], Start: iv.Start, End: iv.End})
+			}
+		}
+		return sps
+	})
 }
 
 // drainObserved mirrors des.Engine.Drain (same termination guard, same
@@ -276,6 +319,13 @@ func Simulate(s *sched.Schedule, opt Options) (*Run, error) {
 func (sm *simulator) drainObserved(maxEvents uint64) error {
 	eng := sm.eng
 	start := eng.Processed()
+	// Batch spans are buffered locally and handed to the scope as one
+	// deferred producer, keeping the drain loop free of span-store locking
+	// and the handoff free of copying. attrBuf is a shared backing array so
+	// each span's one-element Attrs slice costs no allocation of its own.
+	batchSpans := make([]obs.Span, 0, 512)
+	attrBuf := make([]obs.Attr, 0, 512)
+	defer sm.sc.AddDeferredSpans(func() []obs.Span { return batchSpans })
 	for {
 		at, ok := eng.NextAt()
 		if !ok {
@@ -302,16 +352,34 @@ func (sm *simulator) drainObserved(maxEvents uint64) error {
 		if next, pending := eng.NextAt(); pending {
 			end = next
 		}
-		sm.sc.AddSpan(obs.Span{
+		attrBuf = append(attrBuf, obs.A("events", smallInt(batch)))
+		batchSpans = append(batchSpans, obs.Span{
 			Name:  "batch",
 			Track: "des",
 			Start: at,
 			End:   end,
-			Attrs: []obs.Attr{obs.A("events", fmt.Sprint(batch))},
+			Attrs: attrBuf[len(attrBuf)-1 : len(attrBuf) : len(attrBuf)],
 		})
 		sm.batchHist.Observe(float64(batch))
 		sm.evCtr.Add(int64(batch))
 	}
+}
+
+// smallIntNames caches the decimal strings for the common small DES batch
+// sizes so the observed drain loop allocates nothing for the span attr.
+var smallIntNames = func() [64]string {
+	var a [64]string
+	for i := range a {
+		a[i] = strconv.Itoa(i)
+	}
+	return a
+}()
+
+func smallInt(v uint64) string {
+	if v < uint64(len(smallIntNames)) {
+		return smallIntNames[v]
+	}
+	return strconv.FormatUint(v, 10)
 }
 
 // schedulePeriod releases the root's period-p slots that fall before Stop
@@ -430,14 +498,19 @@ func (sm *simulator) kickCompute(ns *nodeState) {
 	end := start.Add(w)
 	if !sm.opt.SkipIntervals {
 		sm.tr.AddInterval(trace.Interval{Node: ns.id, Kind: trace.Compute, Start: start, End: end, Peer: tree.None})
-	}
-	if sm.sc != nil {
+	} else if sm.sc != nil {
+		// With intervals suppressed the span store is the only record, so
+		// pay the per-event append; otherwise spans are bulk-converted from
+		// the trace after the run (exportIntervalSpans).
 		sm.sc.AddSpan(obs.Span{Name: "compute", Track: sm.trkC[ns.id], Start: start, End: end})
 	}
 	sm.eng.At(end, func() {
 		ns.computing = false
 		sm.tr.AddCompletion(ns.id, end)
 		sm.doneCtr.Inc()
+		if sm.doneNode != nil {
+			sm.doneNode[ns.id].Inc()
+		}
 		sm.kickCompute(ns)
 	})
 }
@@ -457,10 +530,9 @@ func (sm *simulator) kickSend(ns *nodeState) {
 	if !sm.opt.SkipIntervals {
 		sm.tr.AddInterval(trace.Interval{Node: ns.id, Kind: trace.Send, Start: start, End: end, Peer: child})
 		sm.tr.AddInterval(trace.Interval{Node: child, Kind: trace.Recv, Start: start, End: end, Peer: ns.id})
-	}
-	if sm.sc != nil {
-		sm.sc.AddSpan(obs.Span{Name: "send " + sm.t.Name(child), Track: sm.trkS[ns.id], Start: start, End: end})
-		sm.sc.AddSpan(obs.Span{Name: "recv " + sm.t.Name(ns.id), Track: sm.trkR[child], Start: start, End: end})
+	} else if sm.sc != nil {
+		sm.sc.AddSpan(obs.Span{Name: sm.sendNm[child], Track: sm.trkS[ns.id], Start: start, End: end})
+		sm.sc.AddSpan(obs.Span{Name: sm.recvNm[ns.id], Track: sm.trkR[child], Start: start, End: end})
 	}
 	sm.eng.At(end, func() {
 		ns.sending = false
