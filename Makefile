@@ -1,13 +1,20 @@
 # Tier-1 verification: everything a change must pass before merging.
-# `make tier1` = build + tests + vet + race detector on the packages that
-# actually run concurrent code (the distributed protocol, the goroutine
-# runtime, and the observability layer's lock-free paths).
+# `make tier1` = format gate + build + tests + vet + race detector on the
+# packages that actually run concurrent code (the distributed protocol,
+# the goroutine runtime, the adaptive controller, and the observability
+# layer's lock-free paths).
 
 GO ?= go
 
-.PHONY: tier1 build test vet race bench
+.PHONY: tier1 fmt build test vet race bench adapt-demo
 
-tier1: build test vet race
+tier1: fmt build test vet race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -19,8 +26,15 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/proto ./internal/runtime ./internal/obs ./internal/obs/analyze
+	$(GO) test -race ./internal/proto ./internal/runtime ./internal/adapt ./internal/obs ./internal/obs/analyze
 
 # Observability overhead benchmarks (EXPERIMENTS.md records the numbers).
 bench:
 	$(GO) test -bench 'BenchmarkObs' -benchmem -run '^$$' .
+
+# The Section 5 adaptation loop end to end: degrade P1's link mid-run,
+# watch the drift fire, the schedule re-negotiate and hot-swap, and the
+# post-swap regime pass conformance.
+adapt-demo:
+	$(GO) run ./cmd/bwsched example | \
+		$(GO) run ./cmd/bwsched adapt -degrade P1=4 -at 120 -stop 400

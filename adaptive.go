@@ -1,0 +1,130 @@
+package bwc
+
+// Adaptive runtime: the closed loop the paper leaves open in Section 5.
+// BW-First is cheap enough to re-run whenever the platform drifts, so
+// SimulateAdaptive / ExecuteAdaptive inject faults on a timeline, watch
+// windowed per-node throughput (and, in simulation, buffer watermarks)
+// against the active schedule, re-negotiate on the measured platform —
+// crashed children pruned by the resilient wave after bounded retries —
+// and hot-swap the new schedule at a period boundary without stopping
+// the run. See internal/adapt.
+
+import (
+	"bwc/internal/adapt"
+	"bwc/internal/obs/analyze"
+)
+
+// Adaptive-runtime types.
+type (
+	// AdaptOptions is the full adaptive-controller configuration
+	// (WithAdaptOptions seeds it; dedicated options override fields).
+	AdaptOptions = adapt.Options
+	// Fault is one scripted perturbation of the platform at a point in
+	// virtual time.
+	Fault = adapt.Fault
+	// FaultKind selects how a Fault perturbs the platform.
+	FaultKind = adapt.FaultKind
+	// Adaptation records one detect → re-solve → hot-swap cycle.
+	Adaptation = adapt.Adaptation
+	// AdaptReport is the outcome of a SimulateAdaptive run: the final
+	// verification run, the adaptation log, and the pre-/post-swap
+	// conformance reports.
+	AdaptReport = adapt.SimReport
+	// AdaptExecReport is the outcome of an ExecuteAdaptive run.
+	AdaptExecReport = adapt.ExecReport
+	// DriftReport is one detected deviation from the active schedule.
+	DriftReport = adapt.Drift
+	// DriftWindow is the windowed statistic that fired the detector.
+	DriftWindow = analyze.WindowStat
+)
+
+// Fault kinds, for hand-assembled Faults; the constructors below cover
+// the common cases.
+const (
+	FaultLinkSet     = adapt.LinkSet
+	FaultLinkScale   = adapt.LinkScale
+	FaultLinkRestore = adapt.LinkRestore
+	FaultNodeSet     = adapt.NodeSet
+	FaultNodeScale   = adapt.NodeScale
+	FaultNodeRestore = adapt.NodeRestore
+	FaultCrash       = adapt.Crash
+)
+
+// DegradeLink schedules the node's incoming communication time to become
+// comm at virtual time at (the PR's canonical drift: a congested link).
+func DegradeLink(at Rational, node string, comm Rational) Fault {
+	return Fault{At: at, Node: node, Kind: adapt.LinkSet, Value: comm}
+}
+
+// RestoreLink schedules the node's incoming link back to its baseline c.
+func RestoreLink(at Rational, node string) Fault {
+	return Fault{At: at, Node: node, Kind: adapt.LinkRestore}
+}
+
+// SlowNode schedules the node's processing time to be multiplied by
+// factor (> 1 is a slowdown).
+func SlowNode(at Rational, node string, factor Rational) Fault {
+	return Fault{At: at, Node: node, Kind: adapt.NodeScale, Value: factor}
+}
+
+// RestoreNode schedules the node's processing time back to its baseline w.
+func RestoreNode(at Rational, node string) Fault {
+	return Fault{At: at, Node: node, Kind: adapt.NodeRestore}
+}
+
+// CrashNode schedules a fail-stop of the node's process: its compute
+// rate collapses and it stops answering protocol messages, so the next
+// negotiation wave prunes its whole subtree. The link itself stays up,
+// and the crash is permanent for the run.
+func CrashNode(at Rational, node string) Fault {
+	return Fault{At: at, Node: node, Kind: adapt.Crash}
+}
+
+// RandomFaults generates a reproducible fault script for t: n
+// degradation events (link or node slowdowns by a factor of 2–8) spread
+// over the middle of [0, horizon), half of them followed by a restore.
+// The root is never targeted.
+func RandomFaults(t *Tree, seed int64, n int, horizon Rational) []Fault {
+	return adapt.RandomFaults(t, seed, n, horizon)
+}
+
+// SimulateAdaptive runs the closed adaptation loop against the exact
+// simulator: simulate s under the fault timeline (WithFaults) until
+// WithStop, scan for drift against the active schedule, re-negotiate on
+// the measured platform, and hot-swap the re-solved schedule at the next
+// root period boundary (draining the stale backlog first); repeat until
+// no drift remains or the adaptation budget (WithMaxAdapts) is
+// exhausted. The returned report carries the pre-swap conformance report
+// (expected to FAIL when faults bite) and the post-swap report on the
+// final regime (Healed reports whether it passes every check).
+//
+// The controller is deterministic: identical inputs replay identical
+// timelines.
+func SimulateAdaptive(s *Schedule, opts ...Option) (*AdaptReport, error) {
+	return adapt.SimulateAdaptive(s, buildCfg(opts).buildAdaptOptions())
+}
+
+// ExecuteAdaptive runs a finite batch (WithTasks, WithScale) on the real
+// goroutine runtime with the fault timeline injected at wall-clock
+// instants and a monitor goroutine watching the per-node execution
+// counters window by window; on drift it re-solves and hot-swaps
+// mid-batch. The batch always runs to completion — adaptation errors are
+// reported alongside the completed report, never by abandoning in-flight
+// tasks. Wall-clock detection jitters, so thresholds should be looser
+// than in simulation.
+func ExecuteAdaptive(s *Schedule, opts ...Option) (*AdaptExecReport, error) {
+	cfg := buildCfg(opts)
+	return adapt.ExecuteAdaptive(s, adapt.ExecOptions{
+		Options: cfg.buildAdaptOptions(),
+		Tasks:   cfg.tasks,
+		Scale:   cfg.scale,
+		Work:    cfg.work,
+	})
+}
+
+// DetectDrift runs the detection half of the loop without ever adapting:
+// nil if the simulated run conforms to s throughout, otherwise an error
+// wrapping ErrScheduleStale describing the first drift.
+func DetectDrift(s *Schedule, opts ...Option) error {
+	return adapt.DetectOnly(s, buildCfg(opts).buildAdaptOptions())
+}

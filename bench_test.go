@@ -71,7 +71,7 @@ func BenchmarkE4Gantt(b *testing.B) {
 	var run *bwc.Run
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		run, err = bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(115)})
+		run, err = bwc.Simulate(s, bwc.WithStop(bwc.RatInt(115)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,13 +128,13 @@ func BenchmarkE7BufferAblation(b *testing.B) {
 		block bool
 	}{{"interleaved", false}, {"block", true}} {
 		b.Run(mode.name, func(b *testing.B) {
-			s, err := bwc.BuildSchedule(res, bwc.ScheduleOptions{Block: mode.block})
+			s, err := bwc.BuildSchedule(res, bwc.WithScheduleOptions(bwc.ScheduleOptions{Block: mode.block}))
 			if err != nil {
 				b.Fatal(err)
 			}
 			var run *bwc.Run
 			for i := 0; i < b.N; i++ {
-				run, err = bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(115), SkipIntervals: true})
+				run, err = bwc.Simulate(s, bwc.WithStop(bwc.RatInt(115)), bwc.WithSkipIntervals())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -157,7 +157,7 @@ func BenchmarkE8Kreaseck(b *testing.B) {
 		}
 		var run *bwc.Run
 		for i := 0; i < b.N; i++ {
-			run, err = bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(115), SkipIntervals: true})
+			run, err = bwc.Simulate(s, bwc.WithStop(bwc.RatInt(115)), bwc.WithSkipIntervals())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -189,7 +189,7 @@ func BenchmarkE9Scalability(b *testing.B) {
 		b.Run(byN(n), func(b *testing.B) {
 			var res *bwc.DistributedResult
 			for i := 0; i < b.N; i++ {
-				res = bwc.SolveDistributed(tr)
+				res, _ = bwc.SolveDistributed(tr)
 			}
 			b.ReportMetric(float64(res.Messages), "messages")
 			b.ReportMetric(float64(res.VisitedCount), "visited")
@@ -384,7 +384,7 @@ func BenchmarkObsDisabled(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(115)}); err != nil {
+		if _, err := bwc.Simulate(s, bwc.WithStop(bwc.RatInt(115))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -399,7 +399,7 @@ func BenchmarkObsEnabled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ob := bwc.NewObserver()
-		if _, err := bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(115), Obs: ob}); err != nil {
+		if _, err := bwc.Simulate(s, bwc.WithStop(bwc.RatInt(115)), bwc.WithObserver(ob)); err != nil {
 			b.Fatal(err)
 		}
 	}

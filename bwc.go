@@ -26,7 +26,14 @@
 //
 //	res := bwc.Solve(platform)              // optimal steady-state rate
 //	s, _ := bwc.BuildSchedule(res)          // per-node event-driven schedules
-//	run, _ := bwc.Simulate(s, bwc.SimOptions{Periods: 4})
+//	run, _ := bwc.Simulate(s, bwc.WithPeriods(4))
+//
+// Every entry point shares one functional-options vocabulary (see
+// Option): bwc.WithObserver instruments any call, bwc.WithStop /
+// bwc.WithPeriods / bwc.WithTasks set horizons and batch sizes,
+// bwc.WithTimeout / bwc.WithRetry make the distributed protocol
+// resilient to unresponsive nodes, and bwc.WithFaults drives the
+// adaptive runtime (SimulateAdaptive / ExecuteAdaptive).
 //
 // Solve runs the paper's BW-First transaction procedure; SolveDistributed
 // runs the same procedure with one goroutine per node exchanging single
@@ -36,6 +43,7 @@
 package bwc
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -172,10 +180,10 @@ func NewBuilder() *Builder { return tree.NewBuilder() }
 
 // Observer collects metrics, spans and events from instrumented runs. A
 // nil *Observer disables all instrumentation at the cost of one pointer
-// check per site; pass one (NewObserver) to Solve/SolveDistributed/Verify,
-// or set it on SimOptions.Obs / ExecuteConfig.Obs, then export with
-// WriteChromeTrace (Perfetto-loadable), WritePrometheus (text exposition)
-// or AttachJSONL (streaming event log).
+// check per site; attach one with bwc.WithObserver(NewObserver()) on any
+// entry point, then export with WriteChromeTrace (Perfetto-loadable),
+// WritePrometheus (text exposition) or AttachJSONL (streaming event
+// log).
 type Observer = obs.Scope
 
 // ObserverEvent is one emitted event on an Observer's bus.
@@ -230,14 +238,11 @@ const (
 // per-node throughput vs the solver's η, single-port discipline, link
 // utilization vs Lemma 1, buffer peaks vs Proposition 3's χ, steady-state
 // onset vs Proposition 4, start-up useful work, and backlogged idleness.
-// The run must have been simulated with SimOptions.Obs set; the schedule
-// and stop time are taken from the run. Optional opts override thresholds
-// (the Schedule and Stop fields are filled in from the run when zero).
-func AnalyzeRun(run *Run, opts ...AnalyzeOptions) *HealthReport {
-	var o AnalyzeOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
+// The run must have been simulated with an Observer attached; the
+// schedule and stop time are taken from the run unless overridden
+// (WithAnalyzeOptions, WithStop).
+func AnalyzeRun(run *Run, opts ...Option) *HealthReport {
+	o := buildCfg(opts).buildAnalyzeOptions()
 	if o.Schedule == nil {
 		o.Schedule = run.Schedule
 	}
@@ -252,11 +257,8 @@ func AnalyzeRun(run *Run, opts ...AnalyzeOptions) *HealthReport {
 // conform to (typically the last phase's). A run whose physics degraded
 // under a stale schedule fails the throughput and buffer checks; that is
 // the detector the Section 5 adaptation loop needs.
-func AnalyzeDynamicRun(run *DynRun, s *Schedule, opts ...AnalyzeOptions) *HealthReport {
-	var o AnalyzeOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
+func AnalyzeDynamicRun(run *DynRun, s *Schedule, opts ...Option) *HealthReport {
+	o := buildCfg(opts).buildAnalyzeOptions()
 	if o.Schedule == nil {
 		o.Schedule = s
 	}
@@ -266,43 +268,28 @@ func AnalyzeDynamicRun(run *DynRun, s *Schedule, opts ...AnalyzeOptions) *Health
 // AnalyzeObserver analyzes whatever evidence a live Observer holds (e.g.
 // one attached to Execute). Wall-clock runs carry link spans and
 // counters, so the exact-timing checks degrade to SKIP.
-func AnalyzeObserver(o *Observer, opts ...AnalyzeOptions) *HealthReport {
-	var ao AnalyzeOptions
-	if len(opts) > 0 {
-		ao = opts[0]
-	}
-	return analyze.Analyze(analyze.FromScope(o), ao)
+func AnalyzeObserver(o *Observer, opts ...Option) *HealthReport {
+	return analyze.Analyze(analyze.FromScope(o), buildCfg(opts).buildAnalyzeOptions())
 }
 
 // AnalyzeTrace analyzes offline evidence: a Chrome trace (WriteChromeTrace)
 // or span-tagged JSONL (WriteSpansJSONL / AttachJSONL) previously written
-// by an exporter. Supply AnalyzeOptions.Schedule to enable the checks that
-// need expected values.
-func AnalyzeTrace(r io.Reader, opts ...AnalyzeOptions) (*HealthReport, error) {
-	var o AnalyzeOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
+// by an exporter. Supply a schedule via WithAnalyzeOptions to enable the
+// checks that need expected values.
+func AnalyzeTrace(r io.Reader, opts ...Option) (*HealthReport, error) {
 	ev, err := analyze.ReadEvidence(r)
 	if err != nil {
 		return nil, err
 	}
-	return analyze.Analyze(ev, o), nil
+	return analyze.Analyze(ev, buildCfg(opts).buildAnalyzeOptions()), nil
 }
 
 // Solve computes the optimal steady-state throughput and the per-node
 // activity variables with the BW-First procedure (sequential reference
-// implementation). An optional Observer records one span per BW-First
+// implementation). WithObserver records one span per BW-First
 // transaction and the solver's counters.
-func Solve(t *Tree, observe ...*Observer) *Result {
-	return bwfirst.SolveObserved(t, firstObserver(observe))
-}
-
-func firstObserver(o []*Observer) *Observer {
-	if len(o) > 0 {
-		return o[0]
-	}
-	return nil
+func Solve(t *Tree, opts ...Option) *Result {
+	return bwfirst.SolveObserved(t, buildCfg(opts).obs)
 }
 
 // SolveBatch scores many platforms concurrently (results in input order) —
@@ -311,11 +298,31 @@ func firstObserver(o []*Observer) *Observer {
 func SolveBatch(trees []*Tree, workers int) []*Result { return bwfirst.SolveBatch(trees, workers) }
 
 // SolveDistributed runs BW-First as a distributed protocol: one goroutine
-// per node, single-number messages over channels. An optional Observer
-// records one span per transaction plus the protocol message counters
+// per node, single-number messages over channels. WithObserver records
+// one span per transaction plus the protocol message counters
 // (bwc_protocol_messages_total, bwc_visited_nodes).
-func SolveDistributed(t *Tree, observe ...*Observer) *DistributedResult {
-	return proto.SolveObserved(t, firstObserver(observe))
+//
+// With any of WithTimeout / WithBackoff / WithRetry / WithUnresponsive
+// the wave runs in resilient mode: every proposal carries a timeout, a
+// child that never acknowledges is retried with linear backoff and then
+// pruned — its whole subtree excluded from the steady state and reported
+// in the result's Pruned list — instead of hanging the negotiation. An
+// unresponsive root fails with ErrAdaptTimeout. Without those options the
+// wave is the plain in-memory protocol and the error is always nil.
+func SolveDistributed(t *Tree, opts ...Option) (*DistributedResult, error) {
+	cfg := buildCfg(opts)
+	if !cfg.resilient {
+		return proto.SolveObserved(t, cfg.obs), nil
+	}
+	down := make([]tree.NodeID, 0, len(cfg.unresponsive))
+	for _, name := range cfg.unresponsive {
+		id, ok := t.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("bwc: unresponsive node %q is not in the platform", name)
+		}
+		down = append(down, id)
+	}
+	return proto.SolveResilientObserved(t, down, cfg.buildResilientOptions(), cfg.obs)
 }
 
 // ProtocolSession keeps one goroutine per node alive across negotiation
@@ -338,13 +345,9 @@ func LPThroughput(t *Tree) (Rational, []Rational, error) { return lp.OptimalThro
 
 // BuildSchedule reconstructs every node's asynchronous, event-driven local
 // schedule (periods, ψ quantities, interleaved allocation pattern) from a
-// BW-First result.
-func BuildSchedule(res *Result, opts ...ScheduleOptions) (*Schedule, error) {
-	var o ScheduleOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
-	return sched.Build(res, o)
+// BW-First result. WithScheduleOptions tunes the construction.
+func BuildSchedule(res *Result, opts ...Option) (*Schedule, error) {
+	return sched.Build(res, buildCfg(opts).schedOptions)
 }
 
 // MarshalDeployment encodes the active nodes' ψ quantities and consuming
@@ -354,12 +357,8 @@ func MarshalDeployment(s *Schedule) ([]byte, error) { return s.MarshalDeployment
 
 // UnmarshalDeployment rebuilds a schedule for platform t from a deployment
 // document, recomputing every derived quantity locally.
-func UnmarshalDeployment(t *Tree, data []byte, opts ...ScheduleOptions) (*Schedule, error) {
-	var o ScheduleOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
-	return sched.UnmarshalDeployment(t, data, o)
+func UnmarshalDeployment(t *Tree, data []byte, opts ...Option) (*Schedule, error) {
+	return sched.UnmarshalDeployment(t, data, buildCfg(opts).schedOptions)
 }
 
 // QuantizeSchedule rounds the optimal rates down to denominators dividing
@@ -367,18 +366,19 @@ func UnmarshalDeployment(t *Tree, data []byte, opts ...ScheduleOptions) (*Schedu
 // at a throughput loss of at most (#nodes)/den — the practical answer to
 // the paper's warning that exact periods "might be embarrassingly long".
 // It returns the schedule and the quantized throughput.
-func QuantizeSchedule(res *Result, den int64, opts ...ScheduleOptions) (*Schedule, Rational, error) {
-	var o ScheduleOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
-	return sched.Quantize(res, den, o)
+func QuantizeSchedule(res *Result, den int64, opts ...Option) (*Schedule, Rational, error) {
+	return sched.Quantize(res, den, buildCfg(opts).schedOptions)
 }
 
 // Simulate executes a schedule on the simulated platform under the
-// single-port full-overlap model: paced root, event-driven nodes, start-up
-// from empty buffers, wind-down after opt.Stop.
-func Simulate(s *Schedule, opt SimOptions) (*Run, error) { return sim.Simulate(s, opt) }
+// single-port full-overlap model: paced root, event-driven nodes,
+// start-up from empty buffers, wind-down after the horizon. Exactly one
+// of WithStop / WithPeriods / WithTasks must set the horizon;
+// WithObserver instruments the run and WithSimOptions seeds the rarer
+// knobs (BurstRoot, MaxEvents).
+func Simulate(s *Schedule, opts ...Option) (*Run, error) {
+	return sim.Simulate(s, buildCfg(opts).buildSimOptions())
+}
 
 // SimulateDynamic runs a multi-phase simulation: the platform's physics
 // and the deployed schedules may change at different moments, measuring
@@ -388,8 +388,11 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) { return sim.SimulateDynam
 
 // Execute runs a batch as a real concurrent Master-Worker application:
 // goroutines per node, channels as links, wall-clock pacing scaled by
-// cfg.Scale, and the user's Work function invoked per task.
-func Execute(cfg ExecuteConfig) (*ExecuteReport, error) { return runtime.Execute(cfg) }
+// WithScale, and the WithWork function invoked per task. WithTasks sets
+// the batch size.
+func Execute(s *Schedule, opts ...Option) (*ExecuteReport, error) {
+	return runtime.Execute(buildCfg(opts).buildExecConfig(s))
+}
 
 // SimulateDemandDriven runs the Kreaseck-style demand-driven comparator
 // protocol on the same platform model.
@@ -492,10 +495,10 @@ func PaperExampleTree() *Tree { return paperexample.Tree() }
 
 // Verify cross-checks the three throughput oracles (BW-First, bottom-up
 // reduction, exact LP) on t and the internal invariants of the BW-First
-// result; it returns the agreed throughput. An optional Observer records
-// the BW-First and protocol runs it performs.
-func Verify(t *Tree, observe ...*Observer) (Rational, error) {
-	sc := firstObserver(observe)
+// result; it returns the agreed throughput. WithObserver records the
+// BW-First and protocol runs it performs.
+func Verify(t *Tree, opts ...Option) (Rational, error) {
+	sc := buildCfg(opts).obs
 	res := bwfirst.SolveObserved(t, sc)
 	if err := res.CheckInvariants(); err != nil {
 		return rat.Zero, err

@@ -25,7 +25,7 @@ func TestEndToEndPaperTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(115)})
+	run, err := bwc.Simulate(s, bwc.WithStop(bwc.RatInt(115)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestFacadeGantt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := bwc.Simulate(s, bwc.SimOptions{Periods: 2})
+	run, err := bwc.Simulate(s, bwc.WithPeriods(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func ExampleBuildSchedule() {
 
 // ExampleSolveDistributed runs the protocol with one goroutine per node.
 func ExampleSolveDistributed() {
-	res := bwc.SolveDistributed(bwc.PaperExampleTree())
+	res, _ := bwc.SolveDistributed(bwc.PaperExampleTree())
 	fmt.Println("throughput:", res.Throughput, "messages:", res.Messages)
 	// Output: throughput: 10/9 messages: 16
 }
@@ -354,7 +354,7 @@ func TestFacadeWrapperCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := bwc.Simulate(full, bwc.SimOptions{Stop: bwc.RatInt(60)})
+	run, err := bwc.Simulate(full, bwc.WithStop(bwc.RatInt(60)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestFacadeWrapperCoverage(t *testing.T) {
 		t.Fatalf("AnalyzeUpgrades: %v", err)
 	}
 	// Execute through the facade (tiny scale).
-	rep, err := bwc.Execute(bwc.ExecuteConfig{Schedule: full, Tasks: 10, Scale: 20 * time.Microsecond})
+	rep, err := bwc.Execute(full, bwc.WithTasks(10), bwc.WithScale(20*time.Microsecond))
 	if err != nil || rep.Total != 10 {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -426,7 +426,7 @@ func TestFacadeAnalyze(t *testing.T) {
 		t.Fatal(err)
 	}
 	ob := bwc.NewObserver()
-	run, err := bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(200), Obs: ob})
+	run, err := bwc.Simulate(s, bwc.WithStop(bwc.RatInt(200)), bwc.WithObserver(ob))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,7 +447,7 @@ func TestFacadeAnalyze(t *testing.T) {
 		t.Fatal(err)
 	}
 	offline, err := bwc.AnalyzeTrace(strings.NewReader(buf.String()),
-		bwc.AnalyzeOptions{Schedule: s, Stop: bwc.RatInt(200)})
+		bwc.WithAnalyzeOptions(bwc.AnalyzeOptions{Schedule: s, Stop: bwc.RatInt(200)}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,7 +470,7 @@ func TestFacadeAnalyze(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := bwc.AnalyzeDynamicRun(dyn, s, bwc.AnalyzeOptions{Stop: bwc.RatInt(360)})
+	bad := bwc.AnalyzeDynamicRun(dyn, s, bwc.WithStop(bwc.RatInt(360)))
 	if bad.Healthy() {
 		t.Fatal("degraded link went undetected through the facade")
 	}

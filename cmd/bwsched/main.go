@@ -18,6 +18,9 @@
 //	verify      cross-check BW-First vs bottom-up vs LP vs distributed
 //	compare     event-driven vs demand-driven protocol on one platform
 //	dynamic     platform degradation + re-negotiation lag simulation
+//	adapt       closed-loop adaptation: inject faults, detect drift,
+//	            re-solve on the measured platform, hot-swap the schedule
+//	            (exit 0 only when the run heals to all-PASS)
 //	overlay     extract and score tree overlays from a platform graph
 //	upgrade     exact throughput gain per resource speedup
 //	execute     run a real goroutine-backed deployment
@@ -31,6 +34,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -81,6 +85,8 @@ func run(args []string) (code int) {
 		err = cmdOverlay(rest)
 	case "dynamic":
 		err = cmdDynamic(rest)
+	case "adapt":
+		err = cmdAdapt(rest)
 	case "upgrade":
 		err = cmdUpgrade(rest)
 	case "execute":
@@ -104,9 +110,28 @@ func run(args []string) (code int) {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bwsched: error: %v\n", err)
-		return 1
+		return exitCode(err)
 	}
 	return 0
+}
+
+// exitCode maps the facade's sentinel errors onto distinct exit codes so
+// shell pipelines can branch on the failure class: 4 the input is not a
+// valid platform tree, 5 no feasible steady state, 6 drift detected with
+// adaptation disabled (stale schedule), 7 the adaptation loop could not
+// converge. Everything else stays 1.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, bwc.ErrNotATree):
+		return 4
+	case errors.Is(err, bwc.ErrInfeasible):
+		return 5
+	case errors.Is(err, bwc.ErrScheduleStale):
+		return 6
+	case errors.Is(err, bwc.ErrAdaptTimeout):
+		return 7
+	}
+	return 1
 }
 
 func usage() {
@@ -120,6 +145,9 @@ commands:
   compare    -f platform.txt -stop 115
   overlay    -f graph.txt [-emit greedy]  extract tree overlays from a graph
   dynamic    -f platform.txt -degrade P1=4 -at 120 -lag 40 -stop 400 [-log-out e.jsonl]
+  adapt      -f platform.txt -degrade P1=4 -at 120 -stop 400 [-fault at:kind:node[:value]]...
+             [-random N -seed S] [-threshold 0.85] [-k 2] [-max-adapts 4] [-detect-only]
+             closed-loop self-healing: detect drift, re-solve, hot-swap; exit 0 iff healed
   upgrade    -f platform.txt [-speedup 2] [-top 5]
   execute    -f platform.txt -n 100 -scale 2ms [-metrics :8080]
   makespan   -f platform.txt -n 500 [-demand]
@@ -198,13 +226,13 @@ func cmdSchedule(args []string) error {
 	var s *bwc.Schedule
 	thr := res.Throughput
 	if *quantize > 0 {
-		s, thr, err = bwc.QuantizeSchedule(res, *quantize, bwc.ScheduleOptions{Block: *block})
+		s, thr, err = bwc.QuantizeSchedule(res, *quantize, bwc.WithScheduleOptions(bwc.ScheduleOptions{Block: *block}))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("quantized to D=%d: throughput %s (optimum %s)\n", *quantize, thr, res.Throughput)
 	} else {
-		s, err = bwc.BuildSchedule(res, bwc.ScheduleOptions{Block: *block})
+		s, err = bwc.BuildSchedule(res, bwc.WithScheduleOptions(bwc.ScheduleOptions{Block: *block}))
 		if err != nil {
 			return err
 		}
@@ -233,19 +261,19 @@ func cmdSimulate(args []string) error {
 		return err
 	}
 	res := bwc.Solve(t)
-	s, err := bwc.BuildSchedule(res, bwc.ScheduleOptions{Block: *block})
+	s, err := bwc.BuildSchedule(res, bwc.WithScheduleOptions(bwc.ScheduleOptions{Block: *block}))
 	if err != nil {
 		return err
 	}
-	opt := bwc.SimOptions{Periods: *periods}
+	opt := []bwc.Option{bwc.WithPeriods(*periods)}
 	if *stop != "" {
 		v, err := bwc.ParseRat(*stop)
 		if err != nil {
 			return err
 		}
-		opt = bwc.SimOptions{Stop: v}
+		opt = []bwc.Option{bwc.WithStop(v)}
 	}
-	run, err := bwc.Simulate(s, opt)
+	run, err := bwc.Simulate(s, opt...)
 	if err != nil {
 		return err
 	}
@@ -321,7 +349,7 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	ev, err := bwc.Simulate(s, bwc.SimOptions{Stop: stopAt, SkipIntervals: true})
+	ev, err := bwc.Simulate(s, bwc.WithStop(stopAt), bwc.WithSkipIntervals())
 	if err != nil {
 		return err
 	}
@@ -651,21 +679,24 @@ func cmdObs(args []string) error {
 		ob.AttachJSONL(logW)
 	}
 
-	dres := bwc.SolveDistributed(t, ob)
-	res := bwc.Solve(t, ob)
+	dres, err := bwc.SolveDistributed(t, bwc.WithObserver(ob))
+	if err != nil {
+		return err
+	}
+	res := bwc.Solve(t, bwc.WithObserver(ob))
 	s, err := bwc.BuildSchedule(res)
 	if err != nil {
 		return err
 	}
-	opt := bwc.SimOptions{Periods: *periods, Obs: ob}
+	opt := []bwc.Option{bwc.WithPeriods(*periods), bwc.WithObserver(ob)}
 	if *stop != "" {
 		v, err := bwc.ParseRat(*stop)
 		if err != nil {
 			return err
 		}
-		opt = bwc.SimOptions{Stop: v, Obs: ob}
+		opt = []bwc.Option{bwc.WithStop(v), bwc.WithObserver(ob)}
 	}
-	simRun, err := bwc.Simulate(s, opt)
+	simRun, err := bwc.Simulate(s, opt...)
 	if err != nil {
 		return err
 	}
@@ -766,7 +797,7 @@ func cmdAnalyze(args []string) error {
 		opt.Stop = v
 	}
 
-	rep, err := bwc.AnalyzeTrace(r, opt)
+	rep, err := bwc.AnalyzeTrace(r, bwc.WithAnalyzeOptions(opt))
 	if err != nil {
 		return err
 	}
@@ -809,7 +840,7 @@ func cmdExecute(args []string) error {
 		defer ms.Close()
 		fmt.Printf("metrics:  http://%s/metrics (pprof under /debug/pprof/)\n", ms.Addr)
 	}
-	rep, err := bwc.Execute(bwc.ExecuteConfig{Schedule: s, Tasks: *n, Scale: *scale, Obs: ob})
+	rep, err := bwc.Execute(s, bwc.WithTasks(*n), bwc.WithScale(*scale), bwc.WithObserver(ob))
 	if err != nil {
 		return err
 	}

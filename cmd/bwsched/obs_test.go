@@ -49,8 +49,8 @@ func TestRunStructuredErrors(t *testing.T) {
 	stderr, code := captureStderr(t, func() int {
 		return run([]string{"throughput", "-f", bad})
 	})
-	if code != 1 {
-		t.Fatalf("exit code %d, want 1", code)
+	if code != 4 {
+		t.Fatalf("exit code %d, want 4 (ErrNotATree)", code)
 	}
 	if !strings.HasPrefix(stderr, "bwsched: error: ") {
 		t.Fatalf("stderr not structured: %q", stderr)
@@ -109,7 +109,10 @@ func TestCmdObs(t *testing.T) {
 
 	// Independent ground truth.
 	res := bwc.Solve(bwc.PaperExampleTree())
-	dres := bwc.SolveDistributed(bwc.PaperExampleTree())
+	dres, err := bwc.SolveDistributed(bwc.PaperExampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Prometheus export: the E9 counters must match the protocol result.
 	prom, err := os.ReadFile(metrics)

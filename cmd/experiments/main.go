@@ -127,7 +127,7 @@ func e4() {
 	s, err := bwc.BuildSchedule(res)
 	check(err)
 	stop := bwc.RatInt(115)
-	run, err := bwc.Simulate(s, bwc.SimOptions{Stop: stop})
+	run, err := bwc.Simulate(s, bwc.WithStop(stop))
 	check(err)
 	check(run.CheckConservation())
 
@@ -218,9 +218,10 @@ func e7() {
 		{"burst timing", false, true},
 		{"block + burst", true, true},
 	} {
-		s, err := bwc.BuildSchedule(res, bwc.ScheduleOptions{Block: mode.block})
+		s, err := bwc.BuildSchedule(res, bwc.WithScheduleOptions(bwc.ScheduleOptions{Block: mode.block}))
 		check(err)
-		run, err := bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(115), BurstRoot: mode.burst, SkipIntervals: true})
+		run, err := bwc.Simulate(s, bwc.WithSimOptions(bwc.SimOptions{BurstRoot: mode.burst}),
+			bwc.WithStop(bwc.RatInt(115)), bwc.WithSkipIntervals())
 		check(err)
 		fmt.Printf("          %-18s %14d %16s\n", mode.name, run.Stats.MaxHeld, run.Stats.WindDown)
 	}
@@ -232,7 +233,7 @@ func e8() {
 	res := bwc.Solve(tr)
 	s, err := bwc.BuildSchedule(res)
 	check(err)
-	ev, err := bwc.Simulate(s, bwc.SimOptions{Stop: stop, SkipIntervals: true})
+	ev, err := bwc.Simulate(s, bwc.WithStop(stop), bwc.WithSkipIntervals())
 	check(err)
 	dd, err := bwc.SimulateDemandDriven(tr, bwc.DemandOptions{Stop: stop, SkipIntervals: true})
 	check(err)
@@ -271,7 +272,8 @@ func e9() {
 	fmt.Printf("measured: %-8s %10s %10s %12s\n", "nodes", "visited", "messages", "msgs/visited")
 	for _, n := range []int{10, 100, 1000, 5000} {
 		tr := bwc.GeneratePlatform(bwc.ComputeLimited, n, 5)
-		res := bwc.SolveDistributed(tr)
+		res, err := bwc.SolveDistributed(tr)
+		check(err)
 		fmt.Printf("          %-8d %10d %10d %12.2f\n",
 			n, res.VisitedCount, res.Messages, float64(res.Messages)/float64(res.VisitedCount))
 	}
@@ -449,7 +451,7 @@ func e15() {
 		Child("b", "d", bwc.Rat(4, 7), bwc.RatInt(19)).
 		MustBuild()
 	res := bwc.Solve(tr)
-	exact, err := bwc.BuildSchedule(res, bwc.ScheduleOptions{MaxPatternLen: 8})
+	exact, err := bwc.BuildSchedule(res, bwc.WithScheduleOptions(bwc.ScheduleOptions{MaxPatternLen: 8}))
 	check(err)
 	fmt.Printf("measured: optimum %s tasks/unit, exact tree period T = %s\n", res.Throughput, exact.TreePeriod())
 	fmt.Printf("          %-8s %14s %16s %10s\n", "D", "period", "throughput", "loss")

@@ -1,0 +1,100 @@
+package bwc
+
+// Deprecated struct-style entry points, kept as thin shims over the
+// functional-options API so pre-redesign callers keep compiling with a
+// one-line change of name. See MIGRATION.md for the mapping; new code
+// should use the ...Option forms.
+
+import "io"
+
+// SolveObserved is Solve with an explicit observer.
+//
+// Deprecated: use Solve(t, WithObserver(o)).
+func SolveObserved(t *Tree, o *Observer) *Result {
+	return Solve(t, WithObserver(o))
+}
+
+// SolveDistributedObserved is SolveDistributed with an explicit
+// observer and the pre-redesign single-value return.
+//
+// Deprecated: use SolveDistributed(t, WithObserver(o)).
+func SolveDistributedObserved(t *Tree, o *Observer) *DistributedResult {
+	res, _ := SolveDistributed(t, WithObserver(o)) // never errors without resilience options
+	return res
+}
+
+// VerifyObserved is Verify with an explicit observer.
+//
+// Deprecated: use Verify(t, WithObserver(o)).
+func VerifyObserved(t *Tree, o *Observer) (Rational, error) {
+	return Verify(t, WithObserver(o))
+}
+
+// BuildScheduleWith is BuildSchedule with a struct-typed configuration.
+//
+// Deprecated: use BuildSchedule(res, WithScheduleOptions(o)).
+func BuildScheduleWith(res *Result, o ScheduleOptions) (*Schedule, error) {
+	return BuildSchedule(res, WithScheduleOptions(o))
+}
+
+// QuantizeScheduleWith is QuantizeSchedule with a struct-typed
+// configuration.
+//
+// Deprecated: use QuantizeSchedule(res, den, WithScheduleOptions(o)).
+func QuantizeScheduleWith(res *Result, den int64, o ScheduleOptions) (*Schedule, Rational, error) {
+	return QuantizeSchedule(res, den, WithScheduleOptions(o))
+}
+
+// UnmarshalDeploymentWith is UnmarshalDeployment with a struct-typed
+// configuration.
+//
+// Deprecated: use UnmarshalDeployment(t, data, WithScheduleOptions(o)).
+func UnmarshalDeploymentWith(t *Tree, data []byte, o ScheduleOptions) (*Schedule, error) {
+	return UnmarshalDeployment(t, data, WithScheduleOptions(o))
+}
+
+// SimulateWith is Simulate with the pre-redesign options struct.
+//
+// Deprecated: use Simulate(s, WithStop(...)/WithPeriods(...)/
+// WithTasks(...), or WithSimOptions(o) for the full struct).
+func SimulateWith(s *Schedule, o SimOptions) (*Run, error) {
+	return Simulate(s, WithSimOptions(o))
+}
+
+// ExecuteWith is Execute with the pre-redesign configuration struct
+// (cfg.Schedule carries the schedule).
+//
+// Deprecated: use Execute(s, WithTasks(...), WithScale(...), ...).
+func ExecuteWith(cfg ExecuteConfig) (*ExecuteReport, error) {
+	return Execute(cfg.Schedule, WithExecuteConfig(cfg))
+}
+
+// AnalyzeRunWith is AnalyzeRun with a struct-typed configuration.
+//
+// Deprecated: use AnalyzeRun(run, WithAnalyzeOptions(o)).
+func AnalyzeRunWith(run *Run, o AnalyzeOptions) *HealthReport {
+	return AnalyzeRun(run, WithAnalyzeOptions(o))
+}
+
+// AnalyzeDynamicRunWith is AnalyzeDynamicRun with a struct-typed
+// configuration.
+//
+// Deprecated: use AnalyzeDynamicRun(run, s, WithAnalyzeOptions(o)).
+func AnalyzeDynamicRunWith(run *DynRun, s *Schedule, o AnalyzeOptions) *HealthReport {
+	return AnalyzeDynamicRun(run, s, WithAnalyzeOptions(o))
+}
+
+// AnalyzeObserverWith is AnalyzeObserver with a struct-typed
+// configuration.
+//
+// Deprecated: use AnalyzeObserver(o, WithAnalyzeOptions(ao)).
+func AnalyzeObserverWith(o *Observer, ao AnalyzeOptions) *HealthReport {
+	return AnalyzeObserver(o, WithAnalyzeOptions(ao))
+}
+
+// AnalyzeTraceWith is AnalyzeTrace with a struct-typed configuration.
+//
+// Deprecated: use AnalyzeTrace(r, WithAnalyzeOptions(o)).
+func AnalyzeTraceWith(r io.Reader, o AnalyzeOptions) (*HealthReport, error) {
+	return AnalyzeTrace(r, WithAnalyzeOptions(o))
+}

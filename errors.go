@@ -1,0 +1,34 @@
+package bwc
+
+import "bwc/internal/bwcerr"
+
+// Sentinel errors. Every error returned by the facade that stems from one
+// of these conditions wraps the matching sentinel, so callers classify
+// failures with errors.Is regardless of the wrapping message:
+//
+//	if errors.Is(err, bwc.ErrInfeasible) { ... }
+//
+// The bwsched CLI maps them to distinct exit codes (4–7) so shell
+// pipelines can branch on the failure class.
+var (
+	// ErrNotATree reports an input platform that violates the tree model:
+	// structural builder and parser errors (no root, duplicate names,
+	// unknown parents, non-positive weights, malformed platform files).
+	ErrNotATree = bwcerr.ErrNotATree
+
+	// ErrInfeasible reports that no positive-throughput steady state
+	// exists for the requested operation — e.g. the root delegates
+	// everything and computes nothing, or a re-solved schedule has no
+	// usable root pattern.
+	ErrInfeasible = bwcerr.ErrInfeasible
+
+	// ErrScheduleStale reports drift detected against the active schedule
+	// while adaptation was disabled (DetectDrift / WithDetectOnly): the
+	// deployed schedule no longer matches the measured platform.
+	ErrScheduleStale = bwcerr.ErrScheduleStale
+
+	// ErrAdaptTimeout reports a non-converging adaptation loop: a
+	// re-negotiation wave timed out at the root, or drift persisted after
+	// the allowed number of adaptations.
+	ErrAdaptTimeout = bwcerr.ErrAdaptTimeout
+)

@@ -69,7 +69,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		run, err := bwc.Simulate(s, bwc.SimOptions{Periods: 3, SkipIntervals: true})
+		run, err := bwc.Simulate(s, bwc.WithPeriods(3), bwc.WithSkipIntervals())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -27,7 +27,7 @@ func main() {
 	scale := 2 * time.Millisecond // one virtual time unit = 2ms
 
 	// Predict the makespan with the discrete-event simulator first.
-	pred, err := bwc.Simulate(s, bwc.SimOptions{Tasks: n, SkipIntervals: true})
+	pred, err := bwc.Simulate(s, bwc.WithTasks(n), bwc.WithSkipIntervals())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,16 +39,14 @@ func main() {
 	// Real execution: each task hashes its block id; nodes run as
 	// goroutines and tasks flow over channels per the schedule.
 	var checksum uint64
-	rep, err := bwc.Execute(bwc.ExecuteConfig{
-		Schedule: s,
-		Tasks:    n,
-		Scale:    scale,
-		Work: func(node bwc.NodeID, task int) {
+	rep, err := bwc.Execute(s,
+		bwc.WithTasks(n),
+		bwc.WithScale(scale),
+		bwc.WithWork(func(node bwc.NodeID, task int) {
 			h := fnv.New64a()
 			fmt.Fprintf(h, "block-%d", task)
 			atomic.AddUint64(&checksum, h.Sum64())
-		},
-	})
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}

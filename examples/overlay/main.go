@@ -68,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	run, err := bwc.Simulate(s, bwc.SimOptions{Periods: 6, SkipIntervals: true})
+	run, err := bwc.Simulate(s, bwc.WithPeriods(6), bwc.WithSkipIntervals())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,7 +36,7 @@ func main() {
 
 	// 3. Simulate: start from empty buffers, stop delegating after six
 	// root periods, drain.
-	run, err := bwc.Simulate(s, bwc.SimOptions{Periods: 6})
+	run, err := bwc.Simulate(s, bwc.WithPeriods(6))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func main() {
 
 	// Run a campaign: delegate work for 600 time units, then stop and
 	// drain (results are tiny for SETI-like apps, so no return traffic).
-	run, err := bwc.Simulate(s, bwc.SimOptions{Stop: bwc.RatInt(600), SkipIntervals: true})
+	run, err := bwc.Simulate(s, bwc.WithStop(bwc.RatInt(600)), bwc.WithSkipIntervals())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,195 @@
+package adapt
+
+import (
+	"errors"
+	"testing"
+
+	"bwc/internal/bwcerr"
+	"bwc/internal/bwfirst"
+	"bwc/internal/obs/analyze"
+	"bwc/internal/paperexample"
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/tree"
+)
+
+func mustSchedule(t *testing.T, tr *tree.Tree) *sched.Schedule {
+	t.Helper()
+	s, err := sched.Build(bwfirst.Solve(tr), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSelfHeal pins the PR acceptance scenario: the P1 uplink of the
+// Section 8 platform degrades mid-run (the PR 3 renegotiation scenario),
+// the stale regime fails its health checks, and after the drift-triggered
+// re-solve and hot-swap the post-swap regime passes every check.
+func TestSelfHeal(t *testing.T) {
+	tr := paperexample.Tree()
+	s := mustSchedule(t, tr)
+	rep, err := SimulateAdaptive(s, Options{
+		Faults: []Fault{{At: rat.FromInt(120), Node: "P1", Kind: LinkSet, Value: rat.FromInt(4)}},
+		Stop:   rat.FromInt(400),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Adaptations) != 1 {
+		t.Fatalf("adaptations = %d, want 1\n%+v", len(rep.Adaptations), rep.Adaptations)
+	}
+	ad := rep.Adaptations[0]
+	if !rat.FromInt(120).Less(ad.Drift.At) {
+		t.Fatalf("drift detected at %s, before the fault at 120", ad.Drift.At)
+	}
+	if !ad.Drift.At.LessEq(ad.SwapAt) {
+		t.Fatalf("swap at %s before detection at %s", ad.SwapAt, ad.Drift.At)
+	}
+	want := bwfirst.Solve(physicsMust(t, tr)).Throughput
+	if !ad.Throughput.Equal(want) {
+		t.Fatalf("re-negotiated throughput %s, want %s", ad.Throughput, want)
+	}
+	if rep.Pre == nil || rep.Pre.Failed == 0 {
+		t.Fatalf("pre-swap regime unexpectedly healthy: %+v", rep.Pre)
+	}
+	if !rep.Healed || !rep.Post.Healthy() {
+		var failing []string
+		for _, c := range rep.Post.Checks {
+			if c.Verdict == analyze.Fail {
+				failing = append(failing, c.Name+": "+c.Detail)
+			}
+		}
+		t.Fatalf("post-swap regime not healthy: %v", failing)
+	}
+	if rep.Post.Passed == 0 {
+		t.Fatal("post-swap report passed no checks at all")
+	}
+}
+
+func physicsMust(t *testing.T, tr *tree.Tree) *tree.Tree {
+	t.Helper()
+	after, err := tr.WithCommTime(tr.MustLookup("P1"), rat.FromInt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return after
+}
+
+// TestNoFaultNoAdapt: a clean run must not trigger any adaptation and
+// must be healthy end to end.
+func TestNoFaultNoAdapt(t *testing.T) {
+	s := mustSchedule(t, paperexample.Tree())
+	rep, err := SimulateAdaptive(s, Options{Stop: rat.FromInt(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Adaptations) != 0 {
+		t.Fatalf("clean run adapted %d times", len(rep.Adaptations))
+	}
+	if !rep.Healed {
+		t.Fatal("clean run not healthy")
+	}
+}
+
+// TestDetectOnly: with adaptation disabled the same drift surfaces as
+// ErrScheduleStale.
+func TestDetectOnly(t *testing.T) {
+	s := mustSchedule(t, paperexample.Tree())
+	err := DetectOnly(s, Options{
+		Faults: []Fault{{At: rat.FromInt(120), Node: "P1", Kind: LinkSet, Value: rat.FromInt(4)}},
+		Stop:   rat.FromInt(400),
+	})
+	if !errors.Is(err, bwcerr.ErrScheduleStale) {
+		t.Fatalf("err = %v, want ErrScheduleStale", err)
+	}
+	if err := DetectOnly(s, Options{Stop: rat.FromInt(200)}); err != nil {
+		t.Fatalf("clean run flagged stale: %v", err)
+	}
+}
+
+// TestCrashPrunesSubtree: a crashed child is pruned by the resilient
+// re-solve and the new schedule routes nothing to its subtree.
+func TestCrashPrunesSubtree(t *testing.T) {
+	tr := paperexample.Tree()
+	s := mustSchedule(t, tr)
+	rep, err := SimulateAdaptive(s, Options{
+		Faults: []Fault{{At: rat.FromInt(100), Node: "P2", Kind: Crash}},
+		Stop:   rat.FromInt(600),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Adaptations) == 0 {
+		t.Fatal("crash went undetected")
+	}
+	ad := rep.Adaptations[len(rep.Adaptations)-1]
+	if len(ad.Pruned) == 0 {
+		t.Fatalf("resilient wave pruned nothing: %+v", ad)
+	}
+	final := rep.FinalSchedule()
+	for _, name := range []string{"P2", "P6", "P7"} {
+		id := final.Tree.MustLookup(name)
+		if ns := &final.Nodes[id]; ns.Active {
+			t.Fatalf("node %s still active after crash prune", name)
+		}
+	}
+	if !rep.Healed {
+		var failing []string
+		for _, c := range rep.Post.Checks {
+			if c.Verdict == analyze.Fail {
+				failing = append(failing, c.Name+": "+c.Detail)
+			}
+		}
+		t.Fatalf("post-crash regime not healthy: %v", failing)
+	}
+}
+
+// TestTimelineValidation: bad fault scripts are rejected up front.
+func TestTimelineValidation(t *testing.T) {
+	tr := paperexample.Tree()
+	bad := [][]Fault{
+		{{At: rat.FromInt(-1), Node: "P1", Kind: LinkScale, Value: rat.FromInt(2)}},
+		{{At: rat.FromInt(1), Node: "nope", Kind: LinkScale, Value: rat.FromInt(2)}},
+		{{At: rat.FromInt(1), Node: "P1", Kind: LinkScale, Value: rat.Zero}},
+		{{At: rat.FromInt(1), Node: "P0", Kind: LinkSet, Value: rat.FromInt(2)}}, // root has no uplink
+	}
+	for i, fs := range bad {
+		if _, err := Timeline(tr, fs, rat.FromInt(16)); err == nil {
+			t.Errorf("case %d: bad script accepted", i)
+		}
+	}
+	// Cumulative same-instant merge: two scalings compose.
+	id := tr.MustLookup("P1")
+	pcs, err := Timeline(tr, []Fault{
+		{At: rat.One, Node: "P1", Kind: LinkScale, Value: rat.FromInt(2)},
+		{At: rat.One, Node: "P1", Kind: LinkScale, Value: rat.FromInt(3)},
+	}, rat.FromInt(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != 1 {
+		t.Fatalf("same-instant faults produced %d changes", len(pcs))
+	}
+	if got, want := pcs[0].Tree.CommTime(id), tr.CommTime(id).Mul(rat.FromInt(6)); !got.Equal(want) {
+		t.Fatalf("cumulative scale: got %s want %s", got, want)
+	}
+}
+
+// TestRandomFaultsReproducible: same seed, same script; scripts are valid.
+func TestRandomFaultsReproducible(t *testing.T) {
+	tr := paperexample.Tree()
+	a := RandomFaults(tr, 42, 5, rat.FromInt(400))
+	b := RandomFaults(tr, 42, 5, rat.FromInt(400))
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if _, err := Timeline(tr, a, rat.FromInt(16)); err != nil {
+		t.Fatalf("generated script invalid: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"bwc/internal/paperexample"
+	"bwc/internal/rat"
+)
+
+// TestExecuteAdaptiveCrash runs a real goroutine batch through a mid-run
+// crash: the monitor must detect the dead node, the resilient wave must
+// prune it, the hot-swap must land, and the batch must still complete
+// every task. Run with -race: fault injection, monitoring, and the swap
+// all cross goroutines. Wall-clock detection times jitter, so the test
+// asserts structure (completion, pruning, swap) rather than timing.
+func TestExecuteAdaptiveCrash(t *testing.T) {
+	tr := paperexample.Tree()
+	s := mustSchedule(t, tr)
+	const n = 600
+	rep, err := ExecuteAdaptive(s, ExecOptions{
+		Options: Options{
+			Faults: []Fault{{At: rat.FromInt(30), Node: "P2", Kind: Crash}},
+			// Detection windows jitter under wall-clock sleeps; be a bit
+			// more lenient than the simulated defaults.
+			Threshold: 0.5,
+			Timeout:   5 * time.Millisecond,
+			Backoff:   5 * time.Millisecond,
+			Retries:   1,
+		},
+		Tasks: n,
+		Scale: 500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Report.Total != n {
+		t.Fatalf("executed %d of %d", rep.Report.Total, n)
+	}
+	if len(rep.Adaptations) == 0 {
+		t.Fatal("crash went undetected; no adaptation")
+	}
+	ad := rep.Adaptations[0]
+	if len(ad.Pruned) == 0 {
+		t.Fatalf("resilient wave pruned nothing: %+v", ad)
+	}
+	if rep.Report.Swaps != len(rep.Adaptations) {
+		t.Fatalf("runtime recorded %d swaps, controller %d", rep.Report.Swaps, len(rep.Adaptations))
+	}
+	if !rep.Healed {
+		t.Fatal("monitor ended with unresolved drift")
+	}
+	// The crashed node computes at CrashFactor·w; it may finish a couple
+	// of stragglers already in its queue, but nothing like its share.
+	p2 := tr.MustLookup("P2")
+	if got := rep.Report.Executed[p2]; got > n/10 {
+		t.Fatalf("crashed node executed %d of %d tasks", got, n)
+	}
+}
+
+// TestExecuteAdaptiveClean: no faults, no adaptation, full batch.
+func TestExecuteAdaptiveClean(t *testing.T) {
+	s := mustSchedule(t, paperexample.Tree())
+	const n = 100
+	rep, err := ExecuteAdaptive(s, ExecOptions{
+		Options: Options{Threshold: 0.5},
+		Tasks:   n,
+		Scale:   200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Report.Total != n || len(rep.Adaptations) != 0 || !rep.Healed {
+		t.Fatalf("clean run: total %d, adaptations %d, healed %v",
+			rep.Report.Total, len(rep.Adaptations), rep.Healed)
+	}
+}

@@ -1,0 +1,33 @@
+// Package bwcerr holds the sentinel errors shared by the internal
+// packages and re-exported by the bwc facade. They live here — below
+// every other package — so that internal code can wrap them without
+// importing the facade (which imports everything else).
+//
+// Callers classify failures with errors.Is:
+//
+//	ErrNotATree       the input platform violates the tree model
+//	                  (structural builder/parser errors);
+//	ErrInfeasible     no positive-throughput steady state exists for the
+//	                  requested operation (e.g. the root delegates and
+//	                  computes nothing);
+//	ErrScheduleStale  drift was detected against the active schedule but
+//	                  adaptation was disabled, so the schedule no longer
+//	                  matches the platform;
+//	ErrAdaptTimeout   the adaptation loop could not converge: a
+//	                  re-negotiation wave timed out at the root, or drift
+//	                  persisted after the allowed number of adaptations.
+package bwcerr
+
+import "errors"
+
+// ErrNotATree reports a platform that is not a valid weighted tree.
+var ErrNotATree = errors.New("platform is not a valid tree")
+
+// ErrInfeasible reports that no positive-throughput steady state exists.
+var ErrInfeasible = errors.New("no feasible steady state")
+
+// ErrScheduleStale reports detected drift with adaptation disabled.
+var ErrScheduleStale = errors.New("schedule is stale for the measured platform")
+
+// ErrAdaptTimeout reports a non-converging adaptation loop.
+var ErrAdaptTimeout = errors.New("adaptation timed out")

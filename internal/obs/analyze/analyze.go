@@ -40,6 +40,13 @@ type Options struct {
 	// LatencyTolerance is the relative tolerance on the p99 compute
 	// latency over the platform's w (default 0.05).
 	LatencyTolerance float64
+	// OnsetWindow overrides the window the steady-state-onset estimator
+	// buckets completions into (default: the schedule's rootless
+	// period). A quantized schedule whose root period exceeds the
+	// rootless period delivers tasks in bursts, making rootless-period
+	// counts oscillate around the quota in steady state; a window
+	// spanning a whole tree period keeps the quota exact.
+	OnsetWindow rat.R
 }
 
 func (o Options) withDefaults() Options {
@@ -525,6 +532,9 @@ func (a *analysis) steadyStateOnset() (Check, rat.R, bool) {
 		return c, rat.Zero, false
 	}
 	period := rat.FromBigInt(a.s.RootlessPeriod())
+	if a.opt.OnsetWindow.IsPos() {
+		period = a.opt.OnsetWindow
+	}
 	rate := a.s.RootlessRate()
 	if !rate.IsPos() {
 		c.Verdict, c.Detail = Skip, "root delegates nothing; no rootless steady state"

@@ -15,10 +15,10 @@ import (
 // Timestamps are fractional microseconds, which both chrome://tracing and
 // Perfetto accept.
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
 	// Dur must always be present on "X" events — viewers treat a missing
 	// dur as malformed, and zero-width spans (instant batches) are legal.
 	Dur  *float64       `json:"dur,omitempty"`

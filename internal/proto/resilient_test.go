@@ -1,0 +1,125 @@
+package proto
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bwc/internal/bwcerr"
+	"bwc/internal/bwfirst"
+	"bwc/internal/paperexample"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+func downIDs(tr *tree.Tree, names ...string) []tree.NodeID {
+	out := make([]tree.NodeID, len(names))
+	for i, n := range names {
+		out[i] = tr.MustLookup(n)
+	}
+	return out
+}
+
+// fastResil keeps the retry schedule short so tests run in milliseconds.
+var fastResil = ResilientOptions{Timeout: 5 * time.Millisecond, Backoff: 5 * time.Millisecond, Retries: 2}
+
+// TestResilientMatchesPlainRun: with every node answering, the resilient
+// wave negotiates exactly the same steady state as the plain one.
+func TestResilientMatchesPlainRun(t *testing.T) {
+	tr := paperexample.Tree()
+	res, err := SolveResilient(tr, nil, fastResil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bwfirst.Solve(tr)
+	if !res.Throughput.Equal(want.Throughput) {
+		t.Fatalf("throughput %s, want %s", res.Throughput, want.Throughput)
+	}
+	if len(res.Pruned) != 0 {
+		t.Fatalf("pruned %v on a healthy platform", res.Pruned)
+	}
+	if res.VisitedCount != want.VisitedCount {
+		t.Fatalf("visited %d, want %d", res.VisitedCount, want.VisitedCount)
+	}
+}
+
+// TestResilientPrunesCrashedChild: a fail-stopped child is pruned after
+// the retry budget instead of hanging the wave, and its whole subtree is
+// scrubbed from the result. Run with -race: the timeout paths cross
+// several goroutines.
+func TestResilientPrunesCrashedChild(t *testing.T) {
+	tr := paperexample.Tree()
+	p2 := tr.MustLookup("P2")
+	res, err := SolveResilient(tr, downIDs(tr, "P2"), fastResil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pruned) != 1 || res.Pruned[0].Node != p2 {
+		t.Fatalf("pruned %v, want exactly P2", res.Pruned)
+	}
+	if res.Pruned[0].Attempts != fastResil.Retries+1 {
+		t.Fatalf("attempts %d, want %d", res.Pruned[0].Attempts, fastResil.Retries+1)
+	}
+	for _, name := range []string{"P2", "P6", "P7", "P9", "P10", "P11"} {
+		id := tr.MustLookup(name)
+		if res.Visited[id] || res.Alpha[id].IsPos() || res.SendRates[id] != nil {
+			t.Fatalf("node %s not scrubbed: visited=%v alpha=%s", name, res.Visited[id], res.Alpha[id])
+		}
+	}
+	if !res.Throughput.IsPos() {
+		t.Fatal("no throughput left after pruning P2")
+	}
+	full := bwfirst.Solve(tr).Throughput
+	if !res.Throughput.Less(full) {
+		t.Fatalf("pruned throughput %s not below full %s", res.Throughput, full)
+	}
+	// The surviving subtree must match BW-First on the platform without
+	// the pruned branch (infinite comm time models the unreachable child).
+	cut, err := tr.WithCommTime(p2, rat.FromInt(1_000_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bwfirst.Solve(cut)
+	if !res.Throughput.Equal(want.Throughput) {
+		t.Fatalf("pruned throughput %s, want %s (tree without P2)", res.Throughput, want.Throughput)
+	}
+}
+
+// TestResilientRootDown: an unresponsive root fails the round with
+// ErrAdaptTimeout instead of hanging.
+func TestResilientRootDown(t *testing.T) {
+	tr := paperexample.Tree()
+	_, err := SolveResilient(tr, downIDs(tr, "P0"), fastResil)
+	if !errors.Is(err, bwcerr.ErrAdaptTimeout) {
+		t.Fatalf("err = %v, want ErrAdaptTimeout", err)
+	}
+}
+
+// TestResilientSessionReuse: after a pruning round, marking the node
+// responsive again and re-running restores the full steady state.
+func TestResilientSessionReuse(t *testing.T) {
+	tr := paperexample.Tree()
+	s := NewSession(tr)
+	defer s.Close()
+	p2 := tr.MustLookup("P2")
+	s.SetResponsive(p2, false)
+	res, err := s.RunResilient(fastResil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pruned) != 1 {
+		t.Fatalf("pruned %v, want P2", res.Pruned)
+	}
+	s.SetResponsive(p2, true)
+	res, err = s.RunResilient(fastResil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pruned) != 0 {
+		t.Fatalf("pruned %v after recovery", res.Pruned)
+	}
+	want := bwfirst.Solve(tr)
+	if !res.Throughput.Equal(want.Throughput) {
+		t.Fatalf("recovered throughput %s, want %s", res.Throughput, want.Throughput)
+	}
+}

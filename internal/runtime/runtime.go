@@ -19,6 +19,14 @@
 // (p + pos_k)·T^w·Scale, keeping the platform in steady state from the
 // start (Section 7).
 //
+// An execution is a live object (Start/Wait), not just a function call:
+// the platform physics can be re-measured mid-run (SetPhysics — every
+// sleep reads the current tree) and the deployed schedule can be hot-
+// swapped (Swap — applied at a root period boundary after draining every
+// in-flight task, so the single-port discipline and the pattern-cursor
+// routing stay consistent across the transition). Snapshot exposes the
+// per-node execution counters the drift detector watches.
+//
 // Because routing is deterministic (pattern cursors), the per-node
 // execution counts of a batch are exactly reproducible even though wall
 // -clock interleavings are not.
@@ -27,8 +35,10 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"bwc/internal/bwcerr"
 	"bwc/internal/obs"
 	"bwc/internal/rat"
 	"bwc/internal/sched"
@@ -62,6 +72,8 @@ type Report struct {
 	Total int
 	// Elapsed is the wall-clock makespan of the batch.
 	Elapsed time.Duration
+	// Swaps is the number of schedule hot-swaps applied during the run.
+	Swaps int
 }
 
 // task travels through the platform.
@@ -76,20 +88,80 @@ type outgoing struct {
 	child int
 }
 
+// routing is one immutable generation of a node's pattern; routers reset
+// their cursor whenever the generation pointer changes.
+type routing struct {
+	pattern []sched.Slot
+}
+
 type nodeRuntime struct {
 	id      tree.NodeID
-	pattern []sched.Slot
+	route   atomic.Pointer[routing]
 	inbox   chan task
 	compute chan task
 	sendQ   chan outgoing
 }
 
+// swapReq asks the master to install a new schedule at the next period
+// boundary; done receives the outcome exactly once.
+type swapReq struct {
+	s    *sched.Schedule
+	done chan error
+}
+
+// Execution is a live run of a batch.
+type Execution struct {
+	cfg   Config
+	nodes []*nodeRuntime
+	phys  atomic.Pointer[tree.Tree]
+	cur   atomic.Pointer[sched.Schedule]
+
+	executed  []atomic.Int64
+	completed atomic.Int64
+	doneCh    chan struct{} // closed when the last task completes
+	swapCh    chan swapReq
+	swaps     atomic.Int64
+
+	start   time.Time
+	elapsed atomic.Int64 // makespan in ns, set once at completion
+	workers sync.WaitGroup
+	waited  bool
+}
+
 // Execute runs a batch of cfg.Tasks tasks to completion and reports the
 // per-node execution counts and the wall-clock makespan.
 func Execute(cfg Config) (*Report, error) {
-	s := cfg.Schedule
+	e, err := Start(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Wait()
+}
+
+// checkSchedule validates a schedule for execution.
+func checkSchedule(s *sched.Schedule) error {
 	if s == nil || s.Tree.Len() == 0 {
-		return nil, fmt.Errorf("runtime: no schedule")
+		return fmt.Errorf("runtime: no schedule")
+	}
+	root := s.Tree.Root()
+	rootSched := &s.Nodes[root]
+	if !rootSched.Active || len(rootSched.Pattern) == 0 {
+		return fmt.Errorf("runtime: root is inactive; nothing to execute: %w", bwcerr.ErrInfeasible)
+	}
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		if ns.Active && ns.Pattern == nil {
+			return fmt.Errorf("runtime: node %s pattern too large to materialize", s.Tree.Name(ns.Node))
+		}
+	}
+	return nil
+}
+
+// Start launches the node goroutines and the clocked master and returns
+// the live execution. Wait must be called to collect the report.
+func Start(cfg Config) (*Execution, error) {
+	if err := checkSchedule(cfg.Schedule); err != nil {
+		return nil, err
 	}
 	if cfg.Tasks <= 0 {
 		return nil, fmt.Errorf("runtime: Tasks must be positive")
@@ -97,18 +169,19 @@ func Execute(cfg Config) (*Report, error) {
 	if cfg.Scale <= 0 {
 		return nil, fmt.Errorf("runtime: Scale must be positive")
 	}
+	s := cfg.Schedule
 	t := s.Tree
 	root := t.Root()
-	rootSched := &s.Nodes[root]
-	if !rootSched.Active || len(rootSched.Pattern) == 0 {
-		return nil, fmt.Errorf("runtime: root is inactive; nothing to execute")
+
+	e := &Execution{
+		cfg:      cfg,
+		nodes:    make([]*nodeRuntime, t.Len()),
+		executed: make([]atomic.Int64, t.Len()),
+		doneCh:   make(chan struct{}),
+		swapCh:   make(chan swapReq),
 	}
-	for i := range s.Nodes {
-		ns := &s.Nodes[i]
-		if ns.Active && ns.Pattern == nil {
-			return nil, fmt.Errorf("runtime: node %s pattern too large to materialize", t.Name(ns.Node))
-		}
-	}
+	e.phys.Store(t)
+	e.cur.Store(s)
 
 	// Channel capacities: χ bounds the steady-state buffering per node
 	// (Proposition 3); headroom keeps transient bursts off the critical
@@ -121,23 +194,17 @@ func Execute(cfg Config) (*Report, error) {
 		}
 		return c
 	}
-
-	nodes := make([]*nodeRuntime, t.Len())
-	for i := range nodes {
+	for i := range e.nodes {
 		id := tree.NodeID(i)
-		nodes[i] = &nodeRuntime{
+		n := &nodeRuntime{
 			id:      id,
-			pattern: s.Nodes[i].Pattern,
 			inbox:   make(chan task, capFor(id)),
 			compute: make(chan task, capFor(id)),
 			sendQ:   make(chan outgoing, capFor(id)),
 		}
+		n.route.Store(&routing{pattern: s.Nodes[i].Pattern})
+		e.nodes[i] = n
 	}
-
-	executed := make([]int, t.Len())
-	var executedMu sync.Mutex
-	var done sync.WaitGroup
-	done.Add(cfg.Tasks)
 
 	// Instruments, pre-registered so the goroutines only touch atomics
 	// (all nil-safe no-ops when cfg.Obs is disabled).
@@ -151,26 +218,28 @@ func Execute(cfg Config) (*Report, error) {
 		}
 	}
 
-	var workers sync.WaitGroup
-	scaleOf := func(v rat.R) time.Duration {
-		return time.Duration(v.Float64() * float64(cfg.Scale))
-	}
-
-	// Per-node goroutines.
-	for _, n := range nodes {
+	// Per-node goroutines. Topology (names, parent/child structure) is
+	// immutable for the run; weights are read from the current physics
+	// tree at each use, so SetPhysics takes effect per task.
+	for _, n := range e.nodes {
 		n := n
-		// Router: event-driven assignment via the pattern.
+		// Router: event-driven assignment via the current pattern.
 		if n.id != root {
-			workers.Add(1)
+			e.workers.Add(1)
 			go func() {
-				defer workers.Done()
+				defer e.workers.Done()
 				cursor := 0
+				var gen *routing
 				for tk := range n.inbox {
-					if len(n.pattern) == 0 {
+					r := n.route.Load()
+					if r != gen {
+						gen, cursor = r, 0
+					}
+					if len(r.pattern) == 0 {
 						panic(fmt.Sprintf("runtime: node %s received a task but expects none", t.Name(n.id)))
 					}
-					slot := n.pattern[cursor]
-					cursor = (cursor + 1) % len(n.pattern)
+					slot := r.pattern[cursor]
+					cursor = (cursor + 1) % len(r.pattern)
 					if slot.Dest == sched.Self {
 						n.compute <- tk
 					} else {
@@ -183,28 +252,28 @@ func Execute(cfg Config) (*Report, error) {
 		}
 		// Computer: the node's CPU.
 		if !t.IsSwitch(n.id) {
-			workers.Add(1)
+			e.workers.Add(1)
 			go func() {
-				defer workers.Done()
-				w, _ := t.ProcTime(n.id)
-				d := scaleOf(w)
+				defer e.workers.Done()
 				for tk := range n.compute {
-					time.Sleep(d)
+					w, _ := e.phys.Load().ProcTime(n.id)
+					time.Sleep(e.scaleOf(w))
 					if cfg.Work != nil {
 						cfg.Work(n.id, tk.id)
 					}
-					executedMu.Lock()
-					executed[n.id]++
-					executedMu.Unlock()
+					e.executed[n.id].Add(1)
 					execCtr[n.id].Inc()
-					done.Done()
+					if e.completed.Add(1) == int64(cfg.Tasks) {
+						e.elapsed.Store(int64(time.Since(e.start)))
+						close(e.doneCh)
+					}
 				}
 			}()
 		}
 		// Sender: the single send port.
-		workers.Add(1)
+		e.workers.Add(1)
 		go func() {
-			defer workers.Done()
+			defer e.workers.Done()
 			children := t.Children(n.id)
 			// One span track per outgoing link; names precomputed so the
 			// transfer loop builds no strings.
@@ -221,59 +290,202 @@ func Execute(cfg Config) (*Report, error) {
 				if linkTrack != nil {
 					span = sc.StartSpan(fmt.Sprintf("task %d", out.t.id), linkTrack[out.child], 0)
 				}
-				time.Sleep(scaleOf(t.CommTime(child)))
-				nodes[child].inbox <- out.t
+				time.Sleep(e.scaleOf(e.phys.Load().CommTime(child)))
+				e.nodes[child].inbox <- out.t
 				if linkTrack != nil {
 					sc.EndSpan(span)
 				}
 			}
 			// Drain complete: cascade shutdown to children.
 			for _, c := range children {
-				close(nodes[c].inbox)
+				close(e.nodes[c].inbox)
 			}
 		}()
 	}
 
-	// The master: paced release of the batch.
-	start := time.Now()
-	go func() {
-		tw := rootSched.TW
-		released := 0
-		for p := 0; released < cfg.Tasks; p++ {
-			for _, slot := range rootSched.Pattern {
-				if released >= cfg.Tasks {
-					break
-				}
-				at := rat.FromInt(int64(p)).Add(slot.Pos).Mul(tw)
-				if wait := scaleOf(at) - time.Since(start); wait > 0 {
-					time.Sleep(wait)
-				}
-				tk := task{id: released}
-				released++
-				if slot.Dest == sched.Self {
-					nodes[root].compute <- tk
-				} else {
-					nodes[root].sendQ <- outgoing{t: tk, child: int(slot.Dest)}
-				}
+	e.start = time.Now()
+	go e.master()
+	return e, nil
+}
+
+func (e *Execution) scaleOf(v rat.R) time.Duration {
+	return time.Duration(v.Float64() * float64(e.cfg.Scale))
+}
+
+// master paces the batch release and serves swap requests at period
+// boundaries. Pacing is re-anchored after every swap so the new pattern's
+// slot offsets are honored from a clean boundary.
+func (e *Execution) master() {
+	root := e.cur.Load().Tree.Root()
+	rn := e.nodes[root]
+	released := 0
+	anchor := e.start
+	p := int64(0)
+	for released < e.cfg.Tasks {
+		// A swap may only happen here: between periods, nothing has been
+		// released into the current period yet.
+		select {
+		case req := <-e.swapCh:
+			if err := e.applySwap(req, released); err == nil {
+				anchor, p = time.Now(), 0
+			}
+		default:
+		}
+		rs := &e.cur.Load().Nodes[root]
+		tw := rs.TW
+		for _, slot := range rs.Pattern {
+			if released >= e.cfg.Tasks {
+				break
+			}
+			at := rat.FromInt(p).Add(slot.Pos).Mul(tw)
+			if wait := e.scaleOf(at) - time.Since(anchor); wait > 0 {
+				time.Sleep(wait)
+			}
+			tk := task{id: released}
+			released++
+			if slot.Dest == sched.Self {
+				rn.compute <- tk
+			} else {
+				rn.sendQ <- outgoing{t: tk, child: int(slot.Dest)}
 			}
 		}
-		// All tasks are in flight; wait for completion, then shut the
-		// pipeline down from the top.
-		done.Wait()
-		close(nodes[root].compute)
-		close(nodes[root].sendQ)
-	}()
-
-	done.Wait()
-	elapsed := time.Since(start)
-	workers.Wait()
-
-	rep := &Report{Executed: executed, Elapsed: elapsed}
-	for _, n := range executed {
-		rep.Total += n
+		p++
 	}
-	if rep.Total != cfg.Tasks {
-		return rep, fmt.Errorf("runtime: executed %d of %d tasks", rep.Total, cfg.Tasks)
+	// All tasks are in flight; refuse late swaps while waiting for the
+	// batch to finish, then shut the pipeline down from the top.
+	for {
+		select {
+		case req := <-e.swapCh:
+			req.done <- fmt.Errorf("runtime: batch already fully released")
+		case <-e.doneCh:
+			close(rn.compute)
+			close(rn.sendQ)
+			return
+		}
+	}
+}
+
+// applySwap drains the platform (every released task computed), installs
+// the new per-node patterns atomically, and acknowledges the request.
+// Called by the master between periods.
+func (e *Execution) applySwap(req swapReq, released int) error {
+	old := e.cur.Load()
+	err := checkSchedule(req.s)
+	if err == nil {
+		if terr := sameShape(old.Tree, req.s.Tree); terr != nil {
+			err = fmt.Errorf("runtime: swap: %v", terr)
+		}
+	}
+	if err != nil {
+		req.done <- err
+		return err
+	}
+	// Drain: in-flight bunches finish under the old routing, so the
+	// single-port discipline never sees a mixed period.
+	for e.completed.Load() < int64(released) {
+		time.Sleep(e.cfg.Scale / 4)
+	}
+	for i := range e.nodes {
+		e.nodes[i].route.Store(&routing{pattern: req.s.Nodes[i].Pattern})
+	}
+	e.cur.Store(req.s)
+	e.swaps.Add(1)
+	req.done <- nil
+	return nil
+}
+
+// sameShape checks two trees share names and parent structure (weights
+// may differ) — the invariant both SetPhysics and Swap require.
+func sameShape(a, b *tree.Tree) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("topology changed: %d vs %d nodes", a.Len(), b.Len())
+	}
+	for id := 0; id < a.Len(); id++ {
+		n := tree.NodeID(id)
+		if a.Name(n) != b.Name(n) {
+			return fmt.Errorf("node %d renamed %q -> %q", id, a.Name(n), b.Name(n))
+		}
+		if a.Parent(n) != b.Parent(n) {
+			return fmt.Errorf("node %q re-parented", a.Name(n))
+		}
+		if a.IsSwitch(n) != b.IsSwitch(n) {
+			return fmt.Errorf("node %q changed between switch and computing node", a.Name(n))
+		}
+	}
+	return nil
+}
+
+// SetPhysics publishes a re-measured platform (same topology, new
+// weights). Sleeps started before the call finish under the old weights;
+// every later task reads the new tree — the wall-clock analogue of
+// sim.PhysicsChange.
+func (e *Execution) SetPhysics(t *tree.Tree) error {
+	if err := sameShape(e.phys.Load(), t); err != nil {
+		return fmt.Errorf("runtime: physics: %v", err)
+	}
+	e.phys.Store(t)
+	return nil
+}
+
+// Physics returns the platform tree currently in effect.
+func (e *Execution) Physics() *tree.Tree { return e.phys.Load() }
+
+// Schedule returns the schedule currently deployed.
+func (e *Execution) Schedule() *sched.Schedule { return e.cur.Load() }
+
+// Snapshot returns the current per-node execution counts (indexed by
+// NodeID). Safe to call concurrently with the run.
+func (e *Execution) Snapshot() []int64 {
+	out := make([]int64, len(e.executed))
+	for i := range e.executed {
+		out[i] = e.executed[i].Load()
+	}
+	return out
+}
+
+// Completed returns how many tasks of the batch have been computed.
+func (e *Execution) Completed() int { return int(e.completed.Load()) }
+
+// Done exposes completion: the channel closes when the last task of the
+// batch has been computed.
+func (e *Execution) Done() <-chan struct{} { return e.doneCh }
+
+// Swap installs a new schedule: the master stops releasing at the next
+// period boundary, waits until every released task has been computed
+// (draining all in-flight bunches), then atomically publishes the new
+// per-node patterns and re-anchors its pacing clock. Blocks until the
+// swap is applied or rejected; returns an error if the new schedule is
+// invalid, shaped differently, or the batch already fully released.
+func (e *Execution) Swap(s *sched.Schedule) error {
+	req := swapReq{s: s, done: make(chan error, 1)}
+	select {
+	case e.swapCh <- req:
+	case <-e.doneCh:
+		return fmt.Errorf("runtime: batch already complete")
+	}
+	return <-req.done
+}
+
+// Wait blocks until the batch completes and returns the report. It may
+// be called once.
+func (e *Execution) Wait() (*Report, error) {
+	if e.waited {
+		panic("runtime: Wait called twice")
+	}
+	e.waited = true
+	<-e.doneCh
+	e.workers.Wait()
+	rep := &Report{
+		Executed: make([]int, len(e.executed)),
+		Elapsed:  time.Duration(e.elapsed.Load()),
+		Swaps:    int(e.swaps.Load()),
+	}
+	for i := range e.executed {
+		rep.Executed[i] = int(e.executed[i].Load())
+		rep.Total += rep.Executed[i]
+	}
+	if rep.Total != e.cfg.Tasks {
+		return rep, fmt.Errorf("runtime: executed %d of %d tasks", rep.Total, e.cfg.Tasks)
 	}
 	return rep, nil
 }

@@ -1,0 +1,110 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bwc/internal/paperexample"
+	"bwc/internal/rat"
+	"bwc/internal/tree"
+)
+
+func smallStar(t *testing.T) *tree.Tree {
+	t.Helper()
+	return tree.NewBuilder().
+		Root("m", rat.One).
+		Child("m", "w1", rat.One, rat.One).
+		MustBuild()
+}
+
+// TestHotSwap degrades the platform mid-run, swaps in the schedule
+// re-solved for it, and checks the batch still completes exactly once
+// per task with the swap recorded. Run with -race: the swap path crosses
+// the master, the monitor (here the test goroutine), and every node.
+func TestHotSwap(t *testing.T) {
+	tr := paperexample.Tree()
+	s := schedule(t, tr)
+	degraded, err := tr.WithCommTime(tr.MustLookup("P1"), rat.FromInt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := schedule(t, degraded)
+
+	// The batch must still have several root periods to go when the swap
+	// lands: the master only serves swaps at period boundaries.
+	const n = 400
+	e, err := Start(Config{Schedule: s, Tasks: n, Scale: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the run make some progress under the original schedule first.
+	for e.Completed() < n/8 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := e.SetPhysics(degraded); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Swap(s2); err != nil {
+		t.Fatalf("swap rejected: %v", err)
+	}
+	if got := e.Schedule(); got != s2 {
+		t.Fatal("Schedule() does not reflect the swap")
+	}
+	rep, err := e.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != n {
+		t.Fatalf("executed %d of %d", rep.Total, n)
+	}
+	if rep.Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", rep.Swaps)
+	}
+}
+
+// TestSwapRejectsBadSchedule: shape changes and unusable schedules are
+// refused without disturbing the run.
+func TestSwapRejectsBadSchedule(t *testing.T) {
+	tr := paperexample.Tree()
+	s := schedule(t, tr)
+	other := schedule(t, smallStar(t))
+
+	const n = 40
+	e, err := Start(Config{Schedule: s, Tasks: n, Scale: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Swap(other); err == nil || !strings.Contains(err.Error(), "topology changed") {
+		t.Fatalf("shape-changing swap: err = %v", err)
+	}
+	if err := e.Swap(nil); err == nil {
+		t.Fatal("nil swap accepted")
+	}
+	rep, err := e.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != n || rep.Swaps != 0 {
+		t.Fatalf("total %d swaps %d after rejected swaps", rep.Total, rep.Swaps)
+	}
+}
+
+// TestSwapAfterFullRelease: once the batch has fully released, a swap is
+// rejected rather than applied to a drained pipeline.
+func TestSwapAfterFullRelease(t *testing.T) {
+	tr := paperexample.Tree()
+	s := schedule(t, tr)
+	const n = 10
+	e, err := Start(Config{Schedule: s, Tasks: n, Scale: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-e.Done()
+	if err := e.Swap(s); err == nil {
+		t.Fatal("swap accepted after completion")
+	}
+	if _, err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

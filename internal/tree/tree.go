@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bwc/internal/bwcerr"
 	"bwc/internal/rat"
 )
 
@@ -338,7 +339,7 @@ func NewBuilder() *Builder {
 
 func (b *Builder) fail(format string, args ...any) {
 	if b.err == nil {
-		b.err = fmt.Errorf(format, args...)
+		b.err = fmt.Errorf(format+": %w", append(args, bwcerr.ErrNotATree)...)
 	}
 }
 
@@ -432,7 +433,7 @@ func (b *Builder) Build() (*Tree, error) {
 		return nil, b.err
 	}
 	if len(b.t.nodes) == 0 {
-		return nil, fmt.Errorf("tree: no root")
+		return nil, fmt.Errorf("tree: no root: %w", bwcerr.ErrNotATree)
 	}
 	t := b.t
 	return &t, nil

@@ -17,6 +17,7 @@ import (
 	"io"
 	"strings"
 
+	"bwc/internal/bwcerr"
 	"bwc/internal/rat"
 	"bwc/internal/tree"
 )
@@ -38,16 +39,16 @@ func ParseText(r io.Reader) (*tree.Tree, error) {
 			continue
 		}
 		if len(fields) != 4 {
-			return nil, fmt.Errorf("treeio: line %d: want 4 fields (name parent comm proc), got %d", lineNo, len(fields))
+			return nil, fmt.Errorf("treeio: line %d: want 4 fields (name parent comm proc), got %d: %w", lineNo, len(fields), bwcerr.ErrNotATree)
 		}
 		name, parent, commS, procS := fields[0], fields[1], fields[2], fields[3]
 		isRoot := parent == "-"
 		if isRoot {
 			if seenRoot {
-				return nil, fmt.Errorf("treeio: line %d: second root %q", lineNo, name)
+				return nil, fmt.Errorf("treeio: line %d: second root %q: %w", lineNo, name, bwcerr.ErrNotATree)
 			}
 			if commS != "-" {
-				return nil, fmt.Errorf("treeio: line %d: root must have comm '-'", lineNo)
+				return nil, fmt.Errorf("treeio: line %d: root must have comm '-': %w", lineNo, bwcerr.ErrNotATree)
 			}
 			seenRoot = true
 			if procS == "inf" {
@@ -55,7 +56,7 @@ func ParseText(r io.Reader) (*tree.Tree, error) {
 			} else {
 				proc, err := rat.Parse(procS)
 				if err != nil {
-					return nil, fmt.Errorf("treeio: line %d: proc: %v", lineNo, err)
+					return nil, fmt.Errorf("treeio: line %d: proc: %v: %w", lineNo, err, bwcerr.ErrNotATree)
 				}
 				b.Root(name, proc)
 			}
@@ -63,14 +64,14 @@ func ParseText(r io.Reader) (*tree.Tree, error) {
 		}
 		comm, err := rat.Parse(commS)
 		if err != nil {
-			return nil, fmt.Errorf("treeio: line %d: comm: %v", lineNo, err)
+			return nil, fmt.Errorf("treeio: line %d: comm: %v: %w", lineNo, err, bwcerr.ErrNotATree)
 		}
 		if procS == "inf" {
 			b.SwitchChild(parent, name, comm)
 		} else {
 			proc, err := rat.Parse(procS)
 			if err != nil {
-				return nil, fmt.Errorf("treeio: line %d: proc: %v", lineNo, err)
+				return nil, fmt.Errorf("treeio: line %d: proc: %v: %w", lineNo, err, bwcerr.ErrNotATree)
 			}
 			b.Child(parent, name, comm, proc)
 		}

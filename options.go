@@ -1,0 +1,327 @@
+package bwc
+
+import (
+	"time"
+
+	"bwc/internal/proto"
+)
+
+// Option configures one facade call. Every entry point that used to take
+// its own trailing struct or optional observer now shares this single
+// functional-options vocabulary:
+//
+//	res := bwc.Solve(t, bwc.WithObserver(ob))
+//	run, err := bwc.Simulate(s, bwc.WithStop(bwc.RatInt(115)))
+//	rep, err := bwc.Execute(s, bwc.WithTasks(100), bwc.WithScale(time.Millisecond))
+//	adaptRep, err := bwc.SimulateAdaptive(s,
+//	    bwc.WithFaults(bwc.DegradeLink(bwc.RatInt(120), "P1", bwc.RatInt(4))),
+//	    bwc.WithStop(bwc.RatInt(400)))
+//
+// Options that do not apply to a call are ignored, so shared helpers can
+// pass one option slice to several entry points. The struct-typed escape
+// hatches (WithSimOptions, WithScheduleOptions, WithAnalyzeOptions,
+// WithExecuteConfig, WithAdaptOptions) seed the full configuration for
+// the rare fields without a dedicated option; dedicated options applied
+// after them override the seeded fields.
+type Option func(*callCfg)
+
+// callCfg accumulates the option state for one call; each entry point
+// materializes only the slice of it that applies.
+type callCfg struct {
+	obs *Observer
+
+	// Resilient negotiation (SolveDistributed, SimulateAdaptive,
+	// ExecuteAdaptive).
+	timeout      time.Duration
+	backoff      time.Duration
+	retries      int
+	unresponsive []string
+	resilient    bool
+
+	// Horizon and batch size (Simulate, Execute, SimulateAdaptive,
+	// ExecuteAdaptive).
+	stop       Rational
+	periods    int
+	tasks      int
+	skip       bool
+	simOptions SimOptions
+	simSet     bool
+
+	// Schedule construction (BuildSchedule, QuantizeSchedule,
+	// UnmarshalDeployment, and re-solves inside the adaptive loop).
+	schedOptions ScheduleOptions
+
+	// Wall-clock execution (Execute, ExecuteAdaptive).
+	scale      time.Duration
+	work       func(NodeID, int)
+	execConfig ExecuteConfig
+	execSet    bool
+
+	// Conformance analysis (AnalyzeRun and friends).
+	anOptions AnalyzeOptions
+	anSet     bool
+
+	// Adaptive runtime (SimulateAdaptive, ExecuteAdaptive, DetectDrift).
+	adaptOptions AdaptOptions
+	faults       []Fault
+	detectOnly   bool
+}
+
+func buildCfg(opts []Option) callCfg {
+	var c callCfg
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// WithObserver attaches an Observer to the call: solver and protocol
+// runs record one span per transaction, simulations and executions
+// record per-node activity, and the adaptive controller emits its
+// fault/drift/swap events on it.
+func WithObserver(o *Observer) Option {
+	return func(c *callCfg) { c.obs = o }
+}
+
+// WithTimeout sets the per-transaction timeout of a resilient
+// negotiation wave: a proposal unacknowledged for this long is retried
+// (WithRetry) with linear backoff (WithBackoff). It applies to
+// SolveDistributed and to the re-solve waves inside SimulateAdaptive /
+// ExecuteAdaptive. Zero keeps the default (50ms).
+func WithTimeout(d time.Duration) Option {
+	return func(c *callCfg) { c.timeout = d; c.resilient = true }
+}
+
+// WithBackoff sets the linear backoff step added per retry of a
+// resilient negotiation transaction. Zero keeps the default (the
+// timeout).
+func WithBackoff(d time.Duration) Option {
+	return func(c *callCfg) { c.backoff = d; c.resilient = true }
+}
+
+// WithRetry sets how many times a timed-out negotiation transaction is
+// retried before the unresponsive child is pruned from the wave (its
+// whole subtree is given up, Section 5's fail-stop answer). Zero keeps
+// the default (2).
+func WithRetry(n int) Option {
+	return func(c *callCfg) { c.retries = n; c.resilient = true }
+}
+
+// WithUnresponsive marks nodes as fail-stopped for SolveDistributed:
+// they swallow proposals without acknowledging, so the wave prunes them
+// after the retry budget instead of hanging.
+func WithUnresponsive(names ...string) Option {
+	return func(c *callCfg) {
+		c.unresponsive = append(c.unresponsive, names...)
+		c.resilient = true
+	}
+}
+
+// WithStop sets the instant the root stops releasing tasks (Simulate,
+// SimulateAdaptive) or bounds the evidence window (Analyze*).
+func WithStop(t Rational) Option {
+	return func(c *callCfg) { c.stop = t }
+}
+
+// WithPeriods makes Simulate run for n root periods instead of an
+// absolute stop time.
+func WithPeriods(n int) Option {
+	return func(c *callCfg) { c.periods = n }
+}
+
+// WithTasks sets the finite batch size: Simulate releases exactly n
+// tasks and stops; Execute and ExecuteAdaptive run the batch to
+// completion.
+func WithTasks(n int) Option {
+	return func(c *callCfg) { c.tasks = n }
+}
+
+// WithSkipIntervals suppresses Gantt interval recording during
+// simulation; completions and buffer samples are still recorded. Use it
+// for large sweeps.
+func WithSkipIntervals() Option {
+	return func(c *callCfg) { c.skip = true }
+}
+
+// WithSimOptions seeds the full simulation configuration for fields
+// without a dedicated option (BurstRoot, MaxEvents). Dedicated options
+// applied after it override the seeded fields.
+func WithSimOptions(o SimOptions) Option {
+	return func(c *callCfg) { c.simOptions = o; c.simSet = true }
+}
+
+// WithScheduleOptions configures schedule construction wherever one is
+// built: BuildSchedule, QuantizeSchedule, UnmarshalDeployment, and the
+// re-solved schedules inside the adaptive loop.
+func WithScheduleOptions(o ScheduleOptions) Option {
+	return func(c *callCfg) { c.schedOptions = o }
+}
+
+// WithScale converts one virtual time unit to the given wall-clock
+// duration in Execute and ExecuteAdaptive.
+func WithScale(d time.Duration) Option {
+	return func(c *callCfg) { c.scale = d }
+}
+
+// WithWork installs the per-task payload run on the executing node's
+// goroutine in Execute and ExecuteAdaptive.
+func WithWork(f func(node NodeID, task int)) Option {
+	return func(c *callCfg) { c.work = f }
+}
+
+// WithExecuteConfig seeds the full execution configuration; the
+// schedule argument of Execute and dedicated options applied after it
+// override the seeded fields.
+func WithExecuteConfig(cfg ExecuteConfig) Option {
+	return func(c *callCfg) { c.execConfig = cfg; c.execSet = true }
+}
+
+// WithAnalyzeOptions seeds the full conformance-analysis configuration
+// (thresholds, expected schedule); dedicated options applied after it
+// override the seeded fields.
+func WithAnalyzeOptions(o AnalyzeOptions) Option {
+	return func(c *callCfg) { c.anOptions = o; c.anSet = true }
+}
+
+// WithFaults appends scripted perturbations to the fault timeline of
+// SimulateAdaptive / ExecuteAdaptive (see DegradeLink, SlowNode,
+// CrashNode, RandomFaults).
+func WithFaults(faults ...Fault) Option {
+	return func(c *callCfg) { c.faults = append(c.faults, faults...) }
+}
+
+// WithDriftWindow sets the drift-detection window width; zero derives
+// it from the active schedule's rootless period.
+func WithDriftWindow(w Rational) Option {
+	return func(c *callCfg) { c.adaptOptions.Window = w }
+}
+
+// WithDriftThreshold sets the minimum worst-node achieved/α ratio per
+// detection window before the window counts as bad (default 0.85).
+func WithDriftThreshold(ratio float64) Option {
+	return func(c *callCfg) { c.adaptOptions.Threshold = ratio }
+}
+
+// WithDriftDebounce sets how many consecutive bad windows fire the
+// drift detector (default 2: quantized schedules deliver in bursts, so
+// isolated bad windows are normal).
+func WithDriftDebounce(windows int) Option {
+	return func(c *callCfg) { c.adaptOptions.Consecutive = windows }
+}
+
+// WithMaxAdapts bounds the number of re-negotiations an adaptive run
+// may perform before giving up with ErrAdaptTimeout (default 4).
+func WithMaxAdapts(n int) Option {
+	return func(c *callCfg) { c.adaptOptions.MaxAdapts = n }
+}
+
+// WithDetectOnly disables adaptation: the first detected drift surfaces
+// as an error wrapping ErrScheduleStale instead of triggering a
+// re-solve. DetectDrift is shorthand for SimulateAdaptive with this.
+func WithDetectOnly() Option {
+	return func(c *callCfg) { c.detectOnly = true }
+}
+
+// WithCrashFactor sets the compute slowdown standing in for a
+// fail-stopped process (zero keeps the controller defaults: 1<<20 in
+// simulation, 16 in wall-clock execution, where the goroutines must
+// still drain).
+func WithCrashFactor(factor int64) Option {
+	return func(c *callCfg) { c.adaptOptions.CrashFactor = factor }
+}
+
+// WithVerifyPeriods sets how many periods of the final schedule the
+// post-swap verification window must cover (default 4); the adaptive
+// run extends its horizon past the stop time if needed.
+func WithVerifyPeriods(n int64) Option {
+	return func(c *callCfg) { c.adaptOptions.VerifyPeriods = n }
+}
+
+// WithAdaptOptions seeds the full adaptive-controller configuration;
+// dedicated options applied after it override the seeded fields.
+func WithAdaptOptions(o AdaptOptions) Option {
+	return func(c *callCfg) { c.adaptOptions = o }
+}
+
+// materializers
+
+func (c callCfg) buildSimOptions() SimOptions {
+	o := c.simOptions
+	if c.stop.IsPos() {
+		o.Stop = c.stop
+	}
+	if c.periods > 0 {
+		o.Periods = c.periods
+	}
+	if c.tasks > 0 {
+		o.Tasks = c.tasks
+	}
+	if c.skip {
+		o.SkipIntervals = true
+	}
+	if c.obs != nil {
+		o.Obs = c.obs
+	}
+	return o
+}
+
+func (c callCfg) buildResilientOptions() proto.ResilientOptions {
+	return proto.ResilientOptions{Timeout: c.timeout, Backoff: c.backoff, Retries: c.retries}
+}
+
+func (c callCfg) buildExecConfig(s *Schedule) ExecuteConfig {
+	cfg := c.execConfig
+	cfg.Schedule = s
+	if c.tasks > 0 {
+		cfg.Tasks = c.tasks
+	}
+	if c.scale > 0 {
+		cfg.Scale = c.scale
+	}
+	if c.work != nil {
+		cfg.Work = c.work
+	}
+	if c.obs != nil {
+		cfg.Obs = c.obs
+	}
+	return cfg
+}
+
+func (c callCfg) buildAnalyzeOptions() AnalyzeOptions {
+	o := c.anOptions
+	if c.stop.IsPos() {
+		o.Stop = c.stop
+	}
+	return o
+}
+
+func (c callCfg) buildAdaptOptions() AdaptOptions {
+	o := c.adaptOptions
+	if len(c.faults) > 0 {
+		o.Faults = append(append([]Fault(nil), o.Faults...), c.faults...)
+	}
+	if c.stop.IsPos() {
+		o.Stop = c.stop
+	}
+	if c.timeout > 0 {
+		o.Timeout = c.timeout
+	}
+	if c.backoff > 0 {
+		o.Backoff = c.backoff
+	}
+	if c.retries > 0 {
+		o.Retries = c.retries
+	}
+	if c.detectOnly {
+		o.MaxAdapts = -1
+	}
+	if c.schedOptions != (ScheduleOptions{}) {
+		o.Sched = c.schedOptions
+	}
+	if c.obs != nil {
+		o.Obs = c.obs
+	}
+	return o
+}

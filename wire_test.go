@@ -1,0 +1,105 @@
+package bwc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"bwc"
+)
+
+// sameSchedule asserts every per-node quantity of the deployment wire
+// format round-tripped exactly: activity, the rationals η_0 and η_i,
+// and the Lemma 1 periods. Exact equality matters — the wire format
+// carries rationals as num/den strings, so any drift would silently
+// change the steady state a re-hydrated site enacts.
+func sameSchedule(t *testing.T, want, got *bwc.Schedule) {
+	t.Helper()
+	if len(want.Nodes) != len(got.Nodes) {
+		t.Fatalf("node count %d → %d", len(want.Nodes), len(got.Nodes))
+	}
+	for i := range want.Nodes {
+		w, g := &want.Nodes[i], &got.Nodes[i]
+		if w.Active != g.Active {
+			t.Fatalf("node %d: Active %v → %v", i, w.Active, g.Active)
+		}
+		if !w.Active {
+			continue
+		}
+		if w.Alpha.Cmp(g.Alpha) != 0 {
+			t.Errorf("node %d: α %s → %s", i, w.Alpha, g.Alpha)
+		}
+		if len(w.Sends) != len(g.Sends) {
+			t.Fatalf("node %d: %d sends → %d", i, len(w.Sends), len(g.Sends))
+		}
+		for j := range w.Sends {
+			if w.Sends[j].Cmp(g.Sends[j]) != 0 {
+				t.Errorf("node %d send %d: η %s → %s", i, j, w.Sends[j], g.Sends[j])
+			}
+		}
+		for _, p := range []struct {
+			name string
+			w, g bwc.Rational
+		}{
+			{"TW", w.TW, g.TW}, {"TS", w.TS, g.TS}, {"TC", w.TC, g.TC}, {"TR", w.TR, g.TR},
+		} {
+			if p.w.Cmp(p.g) != 0 {
+				t.Errorf("node %d: %s %s → %s", i, p.name, p.w, p.g)
+			}
+		}
+	}
+}
+
+// TestDeploymentRoundTrip is the wire-format property test: across
+// every synthetic platform family and several seeds, marshal a solved
+// schedule, unmarshal it against the same platform, and require every
+// rate and period to be preserved exactly. The quantized variant
+// exercises the large-denominator rationals Section 4's rounding
+// produces.
+func TestDeploymentRoundTrip(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind bwc.PlatformKind
+	}{
+		{"uniform", bwc.Uniform},
+		{"bandwidth-limited", bwc.BandwidthLimited},
+		{"compute-limited", bwc.ComputeLimited},
+		{"deep-chain", bwc.DeepChain},
+		{"wide-star", bwc.WideStar},
+		{"switch-heavy", bwc.SwitchHeavy},
+	}
+	for _, k := range kinds {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", k.name, seed), func(t *testing.T) {
+				tr := bwc.GeneratePlatform(k.kind, 12, seed)
+				res := bwc.Solve(tr)
+				s, err := bwc.BuildSchedule(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := bwc.MarshalDeployment(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				back, err := bwc.UnmarshalDeployment(tr, data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSchedule(t, s, back)
+
+				qs, _, err := bwc.QuantizeSchedule(res, 720)
+				if err != nil {
+					t.Fatal(err)
+				}
+				qdata, err := bwc.MarshalDeployment(qs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				qback, err := bwc.UnmarshalDeployment(tr, qdata)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSchedule(t, qs, qback)
+			})
+		}
+	}
+}
