@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt build test vet race bench adapt-demo
+.PHONY: tier1 fmt build test vet race bench adapt-demo engine-diff
 
 tier1: fmt build test vet race
 
@@ -19,14 +19,23 @@ fmt:
 build:
 	$(GO) build ./...
 
+# -count=2 runs every test twice in one process, catching state leaked
+# between runs (package-level caches, leftover goroutines, sync.Once
+# misuse in the Session memo).
 test:
-	$(GO) test ./...
+	$(GO) test -count=2 ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/proto ./internal/runtime ./internal/adapt ./internal/obs ./internal/obs/analyze
+	$(GO) test -race . ./internal/engine ./internal/proto ./internal/runtime ./internal/adapt ./internal/obs ./internal/obs/analyze
+
+# Differential smoke: the virtual-time and wall-clock backends must
+# produce byte-identical per-node event streams through the shared
+# engine (run twice, under the race detector).
+engine-diff:
+	$(GO) test -race -count=2 -run TestDifferentialSimVsRuntime -v ./internal/engine
 
 # Observability overhead benchmarks (EXPERIMENTS.md records the numbers).
 bench:

@@ -122,11 +122,7 @@ func cmdAdapt(args []string) error {
 		return fmt.Errorf("no faults given; use -degrade, -fault or -random")
 	}
 
-	res := bwc.Solve(t)
-	s, err := bwc.BuildSchedule(res)
-	if err != nil {
-		return err
-	}
+	res := sess.Solve(t)
 
 	opts := []bwc.Option{
 		bwc.WithFaults(faults...),
@@ -163,7 +159,7 @@ func cmdAdapt(args []string) error {
 		fmt.Printf("  %s\n", f)
 	}
 
-	rep, err := bwc.SimulateAdaptive(s, opts...)
+	rep, err := sess.SimulateAdaptive(t, opts...)
 	if err != nil {
 		return err
 	}

@@ -45,6 +45,11 @@ import (
 	"bwc"
 )
 
+// sess memoizes the solver layer across the subcommand's pipeline: a
+// command that solves, schedules and simulates the same platform runs
+// the negotiation wave once.
+var sess = bwc.NewSession()
+
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
@@ -187,7 +192,7 @@ func cmdThroughput(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := bwc.Solve(t)
+	res := sess.Solve(t)
 	fmt.Printf("nodes:       %d\n", t.Len())
 	fmt.Printf("t_max:       %s\n", res.TMax)
 	fmt.Printf("throughput:  %s tasks/unit (%.4f)\n", res.Throughput, res.Throughput.Float64())
@@ -222,7 +227,7 @@ func cmdSchedule(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := bwc.Solve(t)
+	res := sess.Solve(t)
 	var s *bwc.Schedule
 	thr := res.Throughput
 	if *quantize > 0 {
@@ -232,7 +237,7 @@ func cmdSchedule(args []string) error {
 		}
 		fmt.Printf("quantized to D=%d: throughput %s (optimum %s)\n", *quantize, thr, res.Throughput)
 	} else {
-		s, err = bwc.BuildSchedule(res, bwc.WithScheduleOptions(bwc.ScheduleOptions{Block: *block}))
+		s, err = sess.BuildSchedule(t, bwc.WithScheduleOptions(bwc.ScheduleOptions{Block: *block}))
 		if err != nil {
 			return err
 		}
@@ -260,8 +265,7 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := bwc.Solve(t)
-	s, err := bwc.BuildSchedule(res, bwc.WithScheduleOptions(bwc.ScheduleOptions{Block: *block}))
+	s, err := sess.BuildSchedule(t, bwc.WithScheduleOptions(bwc.ScheduleOptions{Block: *block}))
 	if err != nil {
 		return err
 	}
@@ -344,8 +348,8 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := bwc.Solve(t)
-	s, err := bwc.BuildSchedule(res)
+	res := sess.Solve(t)
+	s, err := sess.BuildSchedule(t)
 	if err != nil {
 		return err
 	}
@@ -399,12 +403,12 @@ func cmdDot(args []string) error {
 		return err
 	}
 	if *rates {
-		fmt.Print(bwc.DOTWithSchedule(bwc.Solve(t)))
+		fmt.Print(bwc.DOTWithSchedule(sess.Solve(t)))
 		return nil
 	}
 	var highlight func(bwc.NodeID) bool
 	if *used {
-		highlight = bwc.Solve(t).Visited
+		highlight = sess.Solve(t).Visited
 	}
 	fmt.Print(bwc.DOT(t, highlight))
 	return nil
@@ -514,7 +518,7 @@ func cmdOverlay(args []string) error {
 		if err != nil {
 			return err
 		}
-		thr := bwc.Solve(tr).Throughput
+		thr := sess.Solve(tr).Throughput
 		fmt.Printf("%-8s %14s %11.1f%%\n", k, thr, 100*thr.Float64()/opt.Float64())
 	}
 	return nil
@@ -561,12 +565,12 @@ func cmdDynamic(args []string) error {
 	if err != nil {
 		return err
 	}
-	resBefore, resAfter := bwc.Solve(t), bwc.Solve(after)
-	sBefore, err := bwc.BuildSchedule(resBefore)
+	resBefore, resAfter := sess.Solve(t), sess.Solve(after)
+	sBefore, err := sess.BuildSchedule(t)
 	if err != nil {
 		return err
 	}
-	sAfter, err := bwc.BuildSchedule(resAfter)
+	sAfter, err := sess.BuildSchedule(after)
 	if err != nil {
 		return err
 	}
@@ -622,7 +626,7 @@ func cmdUpgrade(args []string) error {
 	if err != nil {
 		return err
 	}
-	base := bwc.Solve(t).Throughput
+	base := sess.Solve(t).Throughput
 	ups, err := bwc.AnalyzeUpgrades(t, f)
 	if err != nil {
 		return err
@@ -683,8 +687,8 @@ func cmdObs(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := bwc.Solve(t, bwc.WithObserver(ob))
-	s, err := bwc.BuildSchedule(res)
+	res := sess.Solve(t, bwc.WithObserver(ob))
+	s, err := sess.BuildSchedule(t)
 	if err != nil {
 		return err
 	}
@@ -783,7 +787,7 @@ func cmdAnalyze(args []string) error {
 		if err != nil {
 			return err
 		}
-		s, err := bwc.BuildSchedule(bwc.Solve(t))
+		s, err := sess.BuildSchedule(t)
 		if err != nil {
 			return err
 		}
@@ -825,8 +829,8 @@ func cmdExecute(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := bwc.Solve(t)
-	s, err := bwc.BuildSchedule(res)
+	res := sess.Solve(t)
+	s, err := sess.BuildSchedule(t)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"bwc/internal/bwcerr"
 	"bwc/internal/bwfirst"
+	"bwc/internal/engine"
 	"bwc/internal/obs"
 	"bwc/internal/obs/analyze"
 	"bwc/internal/proto"
@@ -219,13 +220,13 @@ func SimulateAdaptive(s *sched.Schedule, opt Options) (*SimReport, error) {
 			obs.A("at", drift.At.String()),
 			obs.A("node", drift.Window.WorstNode),
 			obs.A("ratio", fmt.Sprintf("%.3f", drift.Window.MinRatio)))
+		// The engine classifies confirmed drift (exact detection instant:
+		// the simulated evidence is replayed, so t is not approximate).
 		if opt.MaxAdapts == 0 {
-			return rep, fmt.Errorf("adapt: drift at t=%s (worst node %s at %.0f%% of α) with adaptation disabled: %w",
-				drift.At, drift.Window.WorstNode, drift.Window.MinRatio*100, bwcerr.ErrScheduleStale)
+			return rep, engine.StaleDrift(drift.At, false, drift.Window.WorstNode, drift.Window.MinRatio)
 		}
 		if len(rep.Adaptations) >= opt.MaxAdapts {
-			return rep, fmt.Errorf("adapt: drift persists at t=%s after %d adaptations: %w",
-				drift.At, len(rep.Adaptations), bwcerr.ErrAdaptTimeout)
+			return rep, engine.AdaptExhausted(drift.At, false, len(rep.Adaptations))
 		}
 
 		measured := physicsAt(base, physics, drift.At)

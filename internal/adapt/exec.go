@@ -5,7 +5,7 @@ import (
 	"sync"
 	"time"
 
-	"bwc/internal/bwcerr"
+	"bwc/internal/engine"
 	"bwc/internal/obs"
 	"bwc/internal/obs/analyze"
 	"bwc/internal/rat"
@@ -141,15 +141,15 @@ func ExecuteAdaptive(s *sched.Schedule, opt ExecOptions) (*ExecReport, error) {
 				obs.A("at", vt.String()),
 				obs.A("node", ws.WorstNode),
 				obs.A("ratio", fmt.Sprintf("%.3f", ws.MinRatio)))
+			// The engine classifies confirmed drift; approx marks the
+			// wall-clock detection instant (sleep jitter ⇒ "t≈").
 			if opt.MaxAdapts == 0 {
-				monErr = fmt.Errorf("adapt: drift at t≈%s (worst node %s at %.0f%% of α) with adaptation disabled: %w",
-					vt, ws.WorstNode, ws.MinRatio*100, bwcerr.ErrScheduleStale)
+				monErr = engine.StaleDrift(vt, true, ws.WorstNode, ws.MinRatio)
 				rep.Healed = false
 				return
 			}
 			if len(rep.Adaptations) >= opt.MaxAdapts {
-				monErr = fmt.Errorf("adapt: drift persists at t≈%s after %d adaptations: %w",
-					vt, len(rep.Adaptations), bwcerr.ErrAdaptTimeout)
+				monErr = engine.AdaptExhausted(vt, true, len(rep.Adaptations))
 				rep.Healed = false
 				return
 			}

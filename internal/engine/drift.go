@@ -1,0 +1,37 @@
+package engine
+
+import (
+	"fmt"
+
+	"bwc/internal/bwcerr"
+	"bwc/internal/rat"
+)
+
+// Drift classification: both adaptive controllers (the exact simulated
+// loop and the wall-clock monitor) decide what a confirmed drift means
+// here, so the ErrScheduleStale / ErrAdaptTimeout verdicts are produced
+// in exactly one place. Approx marks wall-clock detection instants
+// (sleeps jitter, so the time is rendered "t≈" instead of "t=").
+
+// timeMark renders the detection instant with the exactness marker.
+func timeMark(at rat.R, approx bool) string {
+	if approx {
+		return "t≈" + at.String()
+	}
+	return "t=" + at.String()
+}
+
+// StaleDrift classifies a confirmed drift while adaptation is disabled:
+// the deployed schedule no longer matches the platform and nothing will
+// fix it. Wraps bwcerr.ErrScheduleStale.
+func StaleDrift(at rat.R, approx bool, worstNode string, minRatio float64) error {
+	return fmt.Errorf("adapt: drift at %s (worst node %s at %.0f%% of α) with adaptation disabled: %w",
+		timeMark(at, approx), worstNode, minRatio*100, bwcerr.ErrScheduleStale)
+}
+
+// AdaptExhausted classifies drift that survived the full adaptation
+// budget. Wraps bwcerr.ErrAdaptTimeout.
+func AdaptExhausted(at rat.R, approx bool, adaptations int) error {
+	return fmt.Errorf("adapt: drift persists at %s after %d adaptations: %w",
+		timeMark(at, approx), adaptations, bwcerr.ErrAdaptTimeout)
+}

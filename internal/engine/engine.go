@@ -1,0 +1,479 @@
+// Package engine is the backend-agnostic scheduling-engine core: one
+// implementation of the paper's Section-6 event-driven local schedule
+// that every execution backend shares.
+//
+// The automaton implements, exactly once,
+//
+//   - the receive → compute → send state machine of a node under the
+//     single-port full-overlap model (at most one task computing and one
+//     task on the send port at any instant, receive serialized by the
+//     parent's own send port);
+//   - Ψ-bunch accounting (Section 6.2): incoming tasks are consumed
+//     round-robin through the node's interleaved allocation pattern, so
+//     each wrap of the cursor is one Lemma-1 consuming period T^w;
+//   - buffer watermark tracking (Proposition 3): the buffered-task count
+//     (compute + send queues, excluding tasks in service) and its peak,
+//     the quantity χ bounds;
+//   - drain/resume for hot-swap: released/completed accounting that
+//     tells a controller when every in-flight task has been computed
+//     (Quiescent), and Install, which atomically re-points every node at
+//     a new schedule's patterns with reset bunch cursors.
+//
+// Backends parameterize the core with two small interfaces: a Clock that
+// schedules callbacks in the backend's time domain (exact rational
+// virtual time for the simulator, scaled wall-clock timers for the
+// goroutine runtime) and a Transport that carries a task whose transfer
+// completed to the child's receive port (in-process backends deliver
+// directly). All observability flows through one choke point, the Hooks
+// interface: the engine itself never touches internal/obs, each backend
+// translates the hook stream into its traces, spans and metrics.
+//
+// The engine is goroutine-safe: one mutex serializes state transitions,
+// while the time-consuming parts of a run (transfers, computations) are
+// Clock waits taken outside the lock. A single-threaded backend (the
+// DES) pays one uncontended lock per transition.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/tree"
+)
+
+// Task is one unit of work flowing through the platform.
+type Task struct {
+	// ID is the release index of the task (assigned by the root pacer).
+	ID int
+}
+
+// Clock schedules work in the backend's time domain. After must run fn
+// d virtual-time units from now; implementations may run callbacks on
+// any goroutine (the core re-locks its own state inside them).
+type Clock interface {
+	After(d rat.R, fn func())
+}
+
+// Transport carries a task that finished its transfer on the parent's
+// send port to the child's receive port. In-process backends deliver
+// directly to the core (the default when Config.Transport is nil); a
+// distributed deployment would marshal the task here.
+type Transport interface {
+	Deliver(child tree.NodeID, tk Task)
+}
+
+// Hooks is the engine's single observability choke point. The core calls
+// them at every state transition; backends translate them into traces,
+// spans and metrics. Implementations must not call back into the core
+// (except Deliver/Arrive from a Transport) and should be fast:
+// ComputeStarted, SendStarted and BufferChanged run with the core lock
+// held. ComputeFinished and SendFinished run outside the lock, so user
+// payloads (runtime.Config.Work) may take their time.
+type Hooks interface {
+	// ComputeStarted fires when n's CPU claims a task; w is the
+	// processing time the current physics charges for it.
+	ComputeStarted(n tree.NodeID, tk Task, w rat.R)
+	// ComputeFinished fires when the task's processing time elapsed.
+	ComputeFinished(n tree.NodeID, tk Task)
+	// SendStarted fires when n's send port claims a transfer to child;
+	// c is the communication time the current physics charges for it.
+	SendStarted(n, child tree.NodeID, tk Task, c rat.R)
+	// SendFinished fires when the transfer completed, before the task is
+	// handed to the Transport.
+	SendFinished(n, child tree.NodeID, tk Task)
+	// BufferChanged fires whenever n's buffered-task count (compute +
+	// send queues, tasks in service excluded) changes.
+	BufferChanged(n tree.NodeID, held int)
+	// TaskDropped fires when best-effort routing had to drop a task (only
+	// possible after a dynamic schedule switch stranded it on a childless
+	// switch).
+	TaskDropped(n tree.NodeID, tk Task)
+}
+
+// NopHooks implements Hooks with no-ops; embed it to implement a subset.
+type NopHooks struct{}
+
+func (NopHooks) ComputeStarted(tree.NodeID, Task, rat.R)           {}
+func (NopHooks) ComputeFinished(tree.NodeID, Task)                 {}
+func (NopHooks) SendStarted(tree.NodeID, tree.NodeID, Task, rat.R) {}
+func (NopHooks) SendFinished(tree.NodeID, tree.NodeID, Task)       {}
+func (NopHooks) BufferChanged(tree.NodeID, int)                    {}
+func (NopHooks) TaskDropped(tree.NodeID, Task)                     {}
+
+// outgoing pairs a task with the child (insertion-order index) it is
+// destined for.
+type outgoing struct {
+	tk    Task
+	child int
+}
+
+// node is the per-node automaton state.
+type node struct {
+	id        tree.NodeID
+	pattern   []sched.Slot
+	cursor    int
+	bunches   int64 // completed pattern wraps (Ψ-bunches handled)
+	computeQ  []Task
+	computing bool
+	sendQ     []outgoing
+	sending   bool
+	held      int
+	heldMax   int
+}
+
+// Config assembles a core.
+type Config struct {
+	// Schedule is the initially installed schedule (patterns must be
+	// materialized for every active node; backends validate and report
+	// their own errors before constructing the core).
+	Schedule *sched.Schedule
+	// Clock is the backend's time domain (required).
+	Clock Clock
+	// Transport delivers completed transfers; nil delivers in-process.
+	Transport Transport
+	// Hooks receives every state transition; nil installs NopHooks.
+	Hooks Hooks
+	// Recorder, when non-nil, captures the backend-independent decision
+	// streams of the run (see Recorder).
+	Recorder *Recorder
+	// BestEffort enables stranded-task handling for tasks that arrive at
+	// nodes whose active pattern is empty (only possible across dynamic
+	// schedule switches): compute locally, else forward over the fastest
+	// link, else drop. Without it such an arrival panics — in a static
+	// run it is a schedule bug.
+	BestEffort bool
+}
+
+// Core is the shared scheduling engine: the set of node automata of one
+// platform plus the drain/resume bookkeeping of a run.
+type Core struct {
+	mu    sync.Mutex
+	t     *tree.Tree // topology (names, parent/child structure); immutable
+	phys  atomic.Pointer[tree.Tree]
+	cur   atomic.Pointer[sched.Schedule]
+	nodes []node
+
+	clock     Clock
+	transport Transport
+	hooks     Hooks
+	rec       *Recorder
+	best      bool
+
+	released  atomic.Int64
+	completed atomic.Int64
+	dropped   atomic.Int64
+}
+
+// New assembles a core over the schedule's platform. The schedule and
+// clock are required; backends are expected to have validated the
+// schedule (materialized patterns, usable root) with their own error
+// vocabulary first.
+func New(cfg Config) *Core {
+	if cfg.Schedule == nil || cfg.Schedule.Tree == nil {
+		panic("engine: nil schedule")
+	}
+	if cfg.Clock == nil {
+		panic("engine: nil clock")
+	}
+	t := cfg.Schedule.Tree
+	c := &Core{
+		t:     t,
+		nodes: make([]node, t.Len()),
+		clock: cfg.Clock,
+		hooks: cfg.Hooks,
+		rec:   cfg.Recorder,
+		best:  cfg.BestEffort,
+	}
+	if c.hooks == nil {
+		c.hooks = NopHooks{}
+	}
+	c.transport = cfg.Transport
+	if c.transport == nil {
+		c.transport = localTransport{c}
+	}
+	c.phys.Store(t)
+	c.cur.Store(cfg.Schedule)
+	for i := range c.nodes {
+		c.nodes[i] = node{id: tree.NodeID(i), pattern: cfg.Schedule.Nodes[i].Pattern}
+	}
+	if c.rec != nil {
+		c.rec.init(t.Len())
+	}
+	return c
+}
+
+// localTransport delivers in-process: the transfer that just completed
+// arrives at the child's receive port immediately.
+type localTransport struct{ c *Core }
+
+func (lt localTransport) Deliver(child tree.NodeID, tk Task) { lt.c.Arrive(child, tk) }
+
+// Tree returns the platform topology the core was built over.
+func (c *Core) Tree() *tree.Tree { return c.t }
+
+// Physics returns the platform weights currently in effect.
+func (c *Core) Physics() *tree.Tree { return c.phys.Load() }
+
+// SetPhysics publishes re-measured platform weights. Transfers and
+// computations already in service finish under the weights they started
+// with; every later task reads the new tree. Callers are responsible for
+// shape validation (SameShape).
+func (c *Core) SetPhysics(t *tree.Tree) { c.phys.Store(t) }
+
+// Schedule returns the schedule currently installed.
+func (c *Core) Schedule() *sched.Schedule { return c.cur.Load() }
+
+// Released counts tasks injected at the root so far.
+func (c *Core) Released() int64 { return c.released.Load() }
+
+// Completed counts tasks computed so far (across all nodes).
+func (c *Core) Completed() int64 { return c.completed.Load() }
+
+// Dropped counts tasks best-effort routing had to abandon.
+func (c *Core) Dropped() int64 { return c.dropped.Load() }
+
+// Quiescent reports whether every released task has been accounted for
+// (computed or dropped) — the drain condition a hot-swap must wait for
+// so the single-port discipline never sees a mixed period.
+func (c *Core) Quiescent() bool {
+	return c.completed.Load()+c.dropped.Load() >= c.released.Load()
+}
+
+// Install atomically re-points every node at the schedule's patterns and
+// resets the bunch cursors — the resume half of a hot-swap (and the phase
+// switch of a dynamic run). Swapping controllers must drain first
+// (Quiescent) unless stale in-flight tasks are acceptable (the dynamic
+// simulator's detection-lag experiments deliberately leave them).
+func (c *Core) Install(s *sched.Schedule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cur.Store(s)
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		n.pattern = s.Nodes[i].Pattern
+		n.cursor = 0
+	}
+}
+
+// Buffered returns n's current buffered-task count (compute + send
+// queues, tasks in service excluded) — the Section-6.3 metric.
+func (c *Core) Buffered(n tree.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[n].held
+}
+
+// Watermark returns the peak buffered-task count node n reached — the
+// quantity Proposition 3's χ bounds.
+func (c *Core) Watermark(n tree.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[n].heldMax
+}
+
+// MaxWatermark returns the largest Watermark over all nodes.
+func (c *Core) MaxWatermark() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	max := 0
+	for i := range c.nodes {
+		if c.nodes[i].heldMax > max {
+			max = c.nodes[i].heldMax
+		}
+	}
+	return max
+}
+
+// Bunches returns how many complete Ψ-bunches node n has consumed (full
+// wraps of its allocation pattern — Lemma-1 consuming periods).
+func (c *Core) Bunches(n tree.NodeID) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[n].bunches
+}
+
+// Release injects one task at the root, pre-routed to dest by the root's
+// own pattern (the pacer decides dest; the root automaton only queues).
+func (c *Core) Release(dest sched.Dest, tk Task) {
+	c.released.Add(1)
+	root := c.t.Root()
+	if c.rec != nil {
+		c.rec.route(root, dest)
+	}
+	c.mu.Lock()
+	c.assign(&c.nodes[root], dest, tk)
+	c.mu.Unlock()
+}
+
+// Arrive processes a task arriving on n's receive port: route it through
+// the node's allocation pattern (event-driven, no clock — Section 6.2).
+func (c *Core) Arrive(n tree.NodeID, tk Task) {
+	c.mu.Lock()
+	ns := &c.nodes[n]
+	if len(ns.pattern) == 0 {
+		if c.best {
+			c.strand(ns, tk)
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		panic(fmt.Sprintf("engine: node %s received a task but has an empty pattern", c.t.Name(n)))
+	}
+	slot := ns.pattern[ns.cursor]
+	ns.cursor++
+	if ns.cursor == len(ns.pattern) {
+		ns.cursor = 0
+		ns.bunches++
+	}
+	if c.rec != nil {
+		c.rec.route(n, slot.Dest)
+	}
+	c.assign(ns, slot.Dest, tk)
+	c.mu.Unlock()
+}
+
+// strand handles a task at a node whose active pattern is empty — only
+// possible after a dynamic schedule switch left in-flight tasks behind.
+// Best effort: compute locally, otherwise forward over the fastest link,
+// otherwise the task is dropped. Called with the lock held.
+func (c *Core) strand(ns *node, tk Task) {
+	if !c.t.IsSwitch(ns.id) {
+		if c.rec != nil {
+			c.rec.route(ns.id, sched.Self)
+		}
+		c.assign(ns, sched.Self, tk)
+		return
+	}
+	children := c.t.Children(ns.id)
+	if len(children) == 0 {
+		c.dropped.Add(1)
+		c.hooks.TaskDropped(ns.id, tk)
+		return
+	}
+	phys := c.phys.Load()
+	best := 0
+	for j := 1; j < len(children); j++ {
+		if phys.CommTime(children[j]).Less(phys.CommTime(children[best])) {
+			best = j
+		}
+	}
+	if c.rec != nil {
+		c.rec.route(ns.id, sched.Dest(best))
+	}
+	c.assign(ns, sched.Dest(best), tk)
+}
+
+// assign hands one task at ns to destination dest (Self or child index),
+// updating queues and kicking the relevant port. Called with the lock
+// held. The kick-before-sample order guarantees a task that enters
+// service immediately is never counted as buffered.
+func (c *Core) assign(ns *node, dest sched.Dest, tk Task) {
+	if dest == sched.Self {
+		ns.computeQ = append(ns.computeQ, tk)
+	} else {
+		ns.sendQ = append(ns.sendQ, outgoing{tk: tk, child: int(dest)})
+	}
+	c.kickCompute(ns)
+	c.kickSend(ns)
+	c.sampleBuffer(ns)
+}
+
+// kickCompute starts the next local computation if the CPU is free and
+// work is queued. Called with the lock held.
+func (c *Core) kickCompute(ns *node) {
+	if ns.computing || len(ns.computeQ) == 0 {
+		return
+	}
+	w, ok := c.phys.Load().ProcTime(ns.id)
+	if !ok {
+		panic(fmt.Sprintf("engine: switch %s asked to compute", c.t.Name(ns.id)))
+	}
+	ns.computing = true
+	tk := ns.computeQ[0]
+	ns.computeQ = ns.computeQ[1:]
+	c.sampleBuffer(ns)
+	c.hooks.ComputeStarted(ns.id, tk, w)
+	c.clock.After(w, func() {
+		// The hook runs before the CPU is freed: a backend's user payload
+		// (runtime.Config.Work) is part of the task's service time, so the
+		// next local task must not start under it.
+		c.hooks.ComputeFinished(ns.id, tk)
+		if c.rec != nil {
+			c.rec.compute(ns.id)
+		}
+		c.completed.Add(1)
+		c.mu.Lock()
+		ns.computing = false
+		c.kickCompute(ns)
+		c.mu.Unlock()
+	})
+}
+
+// kickSend starts the next transfer if the send port is free and the
+// send queue is non-empty (single-port: one outgoing transfer at a
+// time, FIFO). Called with the lock held.
+func (c *Core) kickSend(ns *node) {
+	if ns.sending || len(ns.sendQ) == 0 {
+		return
+	}
+	out := ns.sendQ[0]
+	ns.sendQ = ns.sendQ[1:]
+	child := c.t.Children(ns.id)[out.child]
+	ct := c.phys.Load().CommTime(child)
+	ns.sending = true
+	if c.rec != nil {
+		c.rec.send(ns.id, out.child)
+	}
+	c.sampleBuffer(ns)
+	c.hooks.SendStarted(ns.id, child, out.tk, ct)
+	c.clock.After(ct, func() {
+		// Deliver before the port is freed: the next transfer may only
+		// start once the child accepted this task (the wall-clock analogue
+		// of the sender goroutine handing off before its next sleep).
+		c.hooks.SendFinished(ns.id, child, out.tk)
+		c.transport.Deliver(child, out.tk)
+		c.mu.Lock()
+		ns.sending = false
+		c.kickSend(ns)
+		c.mu.Unlock()
+	})
+}
+
+// sampleBuffer publishes the node's buffered-task count when it changed.
+// Called with the lock held.
+func (c *Core) sampleBuffer(ns *node) {
+	held := len(ns.computeQ) + len(ns.sendQ)
+	if held == ns.held {
+		return
+	}
+	ns.held = held
+	if held > ns.heldMax {
+		ns.heldMax = held
+	}
+	c.hooks.BufferChanged(ns.id, held)
+}
+
+// SameShape checks two trees share names and parent structure (weights
+// may differ) — the invariant both SetPhysics and a hot-swap Install
+// require.
+func SameShape(a, b *tree.Tree) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("topology changed: %d vs %d nodes", a.Len(), b.Len())
+	}
+	for id := 0; id < a.Len(); id++ {
+		n := tree.NodeID(id)
+		if a.Name(n) != b.Name(n) {
+			return fmt.Errorf("node %d renamed %q -> %q", id, a.Name(n), b.Name(n))
+		}
+		if a.Parent(n) != b.Parent(n) {
+			return fmt.Errorf("node %q re-parented", a.Name(n))
+		}
+		if a.IsSwitch(n) != b.IsSwitch(n) {
+			return fmt.Errorf("node %q changed between switch and computing node", a.Name(n))
+		}
+	}
+	return nil
+}

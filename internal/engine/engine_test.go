@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bwc/internal/bwcerr"
+	"bwc/internal/bwfirst"
+	"bwc/internal/des"
+	"bwc/internal/rat"
+	"bwc/internal/sched"
+	"bwc/internal/tree"
+)
+
+func buildSchedule(t *testing.T, tr *tree.Tree) *sched.Schedule {
+	t.Helper()
+	s, err := sched.Build(bwfirst.Solve(tr), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// twoWorkers is the T=18 platform of the sim tests: P0(w=2),
+// P1(c=1,w=3), P2(c=3,w=2).
+func twoWorkers(t *testing.T) *sched.Schedule {
+	t.Helper()
+	tr := tree.NewBuilder().
+		Root("P0", rat.Two).
+		Child("P0", "P1", rat.One, rat.FromInt(3)).
+		Child("P0", "P2", rat.FromInt(3), rat.Two).
+		MustBuild()
+	return buildSchedule(t, tr)
+}
+
+// runBatch drives a core over the DES clock: release n tasks with the
+// pacer's law, then drain.
+func runBatch(t *testing.T, c *Core, p *Pacer, eng *des.Engine, n int) {
+	t.Helper()
+	base := eng.Now() // restarted batches anchor past the drained clock
+	released := 0
+	for period := int64(0); released < n; period++ {
+		for i := 0; i < p.Len() && released < n; i++ {
+			id := released
+			dest := p.Dest(i)
+			eng.At(base.Add(p.At(period, i)), func() { c.Release(dest, Task{ID: id}) })
+			released++
+		}
+	}
+	if err := eng.Drain(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchConservation(t *testing.T) {
+	s := twoWorkers(t)
+	eng := &des.Engine{}
+	rec := NewRecorder()
+	c := New(Config{Schedule: s, Clock: eng, Recorder: rec})
+	p := NewPacer(s, false)
+	runBatch(t, c, p, eng, 19)
+
+	if c.Released() != 19 || c.Completed() != 19 || c.Dropped() != 0 {
+		t.Fatalf("released=%d completed=%d dropped=%d", c.Released(), c.Completed(), c.Dropped())
+	}
+	if !c.Quiescent() {
+		t.Fatal("drained core not quiescent")
+	}
+	var total int64
+	for id := 0; id < s.Tree.Len(); id++ {
+		total += rec.Computes(tree.NodeID(id))
+	}
+	if total != 19 {
+		t.Fatalf("recorder computes sum to %d, want 19", total)
+	}
+}
+
+func TestRecorderDeterministic(t *testing.T) {
+	s := twoWorkers(t)
+	fp := func() string {
+		eng := &des.Engine{}
+		rec := NewRecorder()
+		c := New(Config{Schedule: s, Clock: eng, Recorder: rec})
+		runBatch(t, c, NewPacer(s, false), eng, 38)
+		return rec.Fingerprint()
+	}
+	a, b := fp(), fp()
+	if a != b {
+		t.Fatalf("fingerprints differ:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "computes=") {
+		t.Fatalf("fingerprint lacks compute counts:\n%s", a)
+	}
+}
+
+func TestBunchAccounting(t *testing.T) {
+	s := twoWorkers(t)
+	eng := &des.Engine{}
+	rec := NewRecorder()
+	c := New(Config{Schedule: s, Clock: eng, Recorder: rec})
+	p := NewPacer(s, false)
+	periods := 4
+	runBatch(t, c, p, eng, p.Len()*periods)
+	// Every node consumed one Ψ-bunch per full wrap of its pattern: the
+	// bunch counter must equal arrivals ÷ pattern length (Lemma 1).
+	root := s.Tree.Root()
+	sawBunch := false
+	for id := 0; id < s.Tree.Len(); id++ {
+		n := tree.NodeID(id)
+		if n == root {
+			continue
+		}
+		ns := &s.Nodes[n]
+		if !ns.Active || len(ns.Pattern) == 0 {
+			continue
+		}
+		want := int64(len(rec.Routes(n)) / len(ns.Pattern))
+		if got := c.Bunches(n); got != want {
+			t.Fatalf("node %s: %d bunches, want %d (arrivals=%d Ψ=%d)",
+				s.Tree.Name(n), got, want, len(rec.Routes(n)), len(ns.Pattern))
+		}
+		if want > 0 {
+			sawBunch = true
+		}
+	}
+	if !sawBunch {
+		t.Fatal("no node completed a bunch; test platform degenerate")
+	}
+}
+
+func TestWatermarkTracksBuffering(t *testing.T) {
+	s := twoWorkers(t)
+	eng := &des.Engine{}
+	c := New(Config{Schedule: s, Clock: eng})
+	// Burst release: the whole first period lands at t=0, so queues form.
+	runBatch(t, c, NewPacer(s, true), eng, 19)
+	if c.MaxWatermark() == 0 {
+		t.Fatal("burst release should buffer somewhere")
+	}
+	for id := 0; id < s.Tree.Len(); id++ {
+		if got := c.Buffered(tree.NodeID(id)); got != 0 {
+			t.Fatalf("node %d still buffers %d after drain", id, got)
+		}
+	}
+}
+
+func TestInstallResetsCursors(t *testing.T) {
+	s := twoWorkers(t)
+	eng := &des.Engine{}
+	c := New(Config{Schedule: s, Clock: eng})
+	p := NewPacer(s, false)
+	// Half a period in, install the same schedule: cursors reset, and the
+	// remaining tasks still route without panicking.
+	runBatch(t, c, p, eng, 5)
+	c.Install(s)
+	if c.Schedule() != s {
+		t.Fatal("Install did not publish the schedule")
+	}
+	runBatch(t, c, p, eng, 5)
+	if c.Completed() != 10 {
+		t.Fatalf("completed %d, want 10", c.Completed())
+	}
+}
+
+func TestBestEffortStranding(t *testing.T) {
+	s := twoWorkers(t)
+	// Empty every pattern: arrivals at a non-switch node should fall back
+	// to local compute under BestEffort instead of panicking.
+	stripped := *s
+	stripped.Nodes = append([]sched.NodeSchedule(nil), s.Nodes...)
+	for i := range stripped.Nodes {
+		if tree.NodeID(i) != s.Tree.Root() {
+			stripped.Nodes[i].Pattern = nil
+		}
+	}
+	eng := &des.Engine{}
+	c := New(Config{Schedule: &stripped, Clock: eng, BestEffort: true})
+	p := NewPacer(&stripped, false)
+	runBatch(t, c, p, eng, 6)
+	if c.Completed() != 6 {
+		t.Fatalf("completed %d, want 6 (stranded tasks compute locally)", c.Completed())
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	a := tree.NewBuilder().
+		Root("P0", rat.Two).
+		Child("P0", "P1", rat.One, rat.FromInt(3)).
+		MustBuild()
+	faster, err := a.WithCommTime(a.MustLookup("P1"), rat.FromInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SameShape(a, faster); err != nil {
+		t.Fatalf("weight change rejected: %v", err)
+	}
+	b := tree.NewBuilder().Root("P0", rat.Two).MustBuild()
+	if err := SameShape(a, b); err == nil || !strings.Contains(err.Error(), "topology changed") {
+		t.Fatalf("want topology-changed error, got %v", err)
+	}
+}
+
+func TestPacerLaw(t *testing.T) {
+	s := twoWorkers(t)
+	p := NewPacer(s, false)
+	root := &s.Nodes[s.Tree.Root()]
+	if !p.TW().Equal(root.TW) || p.Len() != len(root.Pattern) {
+		t.Fatalf("pacer tw=%s len=%d, want %s/%d", p.TW(), p.Len(), root.TW, len(root.Pattern))
+	}
+	for i, slot := range root.Pattern {
+		want := root.TW.Mul(rat.Two).Add(slot.Pos.Mul(root.TW))
+		if got := p.At(2, i); !got.Equal(want) {
+			t.Fatalf("slot %d period 2: at=%s want %s", i, got, want)
+		}
+		if p.Dest(i) != slot.Dest {
+			t.Fatalf("slot %d dest mismatch", i)
+		}
+	}
+	burst := NewPacer(s, true)
+	for i := range root.Pattern {
+		if !burst.At(3, i).Equal(burst.PeriodStart(3)) {
+			t.Fatal("burst pacer must release at the period start")
+		}
+	}
+}
+
+func TestDriftClassification(t *testing.T) {
+	err := StaleDrift(rat.FromInt(120), false, "P1", 0.43)
+	if !errors.Is(err, bwcerr.ErrScheduleStale) {
+		t.Fatalf("StaleDrift must wrap ErrScheduleStale: %v", err)
+	}
+	if want := "adapt: drift at t=120 (worst node P1 at 43% of α) with adaptation disabled"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("got %q, want substring %q", err, want)
+	}
+	err = StaleDrift(rat.FromInt(120), true, "P1", 0.43)
+	if !strings.Contains(err.Error(), "t≈120") {
+		t.Fatalf("approx drift must render t≈: %v", err)
+	}
+	err = AdaptExhausted(rat.FromInt(300), false, 4)
+	if !errors.Is(err, bwcerr.ErrAdaptTimeout) {
+		t.Fatalf("AdaptExhausted must wrap ErrAdaptTimeout: %v", err)
+	}
+	if want := "adapt: drift persists at t=300 after 4 adaptations"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("got %q, want substring %q", err, want)
+	}
+}

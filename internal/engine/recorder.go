@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"bwc/internal/sched"
+	"bwc/internal/tree"
+)
+
+// Recorder captures the backend-independent decision streams of a run:
+// per node, the sequence of routing decisions its allocation pattern
+// made (Self or a child index), the sequence of children its send port
+// served, and the count of tasks it computed. Under the single-port
+// model these streams are fully determined by the schedule and the
+// release sequence — transfers from a parent are serialized by its one
+// send port, so arrival order (and with it every downstream decision)
+// is identical no matter how the backend interleaves wall-clock events.
+// Two backends executing the same schedule must therefore produce
+// byte-identical Fingerprints; the differential test pins exactly that.
+type Recorder struct {
+	mu       sync.Mutex
+	routes   [][]sched.Dest
+	sends    [][]int
+	computes []int64
+}
+
+// NewRecorder returns an empty recorder; the core sizes it at New.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) init(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.routes = make([][]sched.Dest, n)
+	r.sends = make([][]int, n)
+	r.computes = make([]int64, n)
+}
+
+func (r *Recorder) route(n tree.NodeID, d sched.Dest) {
+	r.mu.Lock()
+	r.routes[n] = append(r.routes[n], d)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) send(n tree.NodeID, child int) {
+	r.mu.Lock()
+	r.sends[n] = append(r.sends[n], child)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) compute(n tree.NodeID) {
+	r.mu.Lock()
+	r.computes[n]++
+	r.mu.Unlock()
+}
+
+// Fingerprint renders the full decision streams canonically, one line
+// per node. Byte-equal fingerprints mean two runs made identical
+// per-node event sequences.
+func (r *Recorder) Fingerprint() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for n := range r.routes {
+		fmt.Fprintf(&b, "node %d: routes=%v sends=%v computes=%d\n",
+			n, r.routes[n], r.sends[n], r.computes[n])
+	}
+	return b.String()
+}
+
+// Computes returns how many tasks node n computed.
+func (r *Recorder) Computes(n tree.NodeID) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.computes[n]
+}
+
+// Routes returns a copy of node n's routing-decision stream.
+func (r *Recorder) Routes(n tree.NodeID) []sched.Dest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]sched.Dest(nil), r.routes[n]...)
+}

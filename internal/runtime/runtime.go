@@ -1,31 +1,31 @@
 // Package runtime executes a reconstructed schedule as a real concurrent
-// Master-Worker application: one set of goroutines per platform node,
-// channels as links, wall-clock sleeps standing in for communication and
-// computation times. It is the "practical and scalable implementation" the
-// paper aims for, in library form — the discrete-event simulator
-// (internal/sim) predicts a run, this package performs one.
+// Master-Worker application in wall-clock time. It is the "practical and
+// scalable implementation" the paper aims for, in library form — the
+// discrete-event simulator (internal/sim) predicts a run, this package
+// performs one.
 //
-// Per node, three goroutines mirror the single-port full-overlap model:
+// The package is the real-time backend of the shared scheduling engine
+// (internal/engine): the per-node receive/compute/send automaton, the
+// Ψ-bunch routing, the single-port full-overlap discipline and the
+// buffer accounting all live in the engine core, driven here by a clock
+// that turns every virtual duration into a scaled timer (w·Scale per
+// computation, c·Scale per transfer). Transfers and computations overlap
+// freely across nodes — the engine's lock covers only state transitions,
+// never the timed waits — so the run is genuinely concurrent even though
+// the Section-6 semantics are shared with the simulator.
 //
-//   - a router receives tasks from the parent (the single receive port is
-//     the inbox channel itself) and assigns each to a destination through
-//     the node's interleaved pattern — the event-driven schedule, no clock;
-//   - a computer processes local tasks one at a time (w·Scale per task) and
-//     invokes the user's Work function;
-//   - a sender serializes outgoing transfers (the single send port),
-//     sleeping c·Scale per task before handing it to the child's inbox.
-//
-// Only the master is clocked: it releases task k of period p at wall time
-// (p + pos_k)·T^w·Scale, keeping the platform in steady state from the
-// start (Section 7).
+// Only the master is clocked against the schedule: it releases task k of
+// period p at wall time (p + pos_k)·T^w·Scale, keeping the platform in
+// steady state from the start (Section 7).
 //
 // An execution is a live object (Start/Wait), not just a function call:
 // the platform physics can be re-measured mid-run (SetPhysics — every
-// sleep reads the current tree) and the deployed schedule can be hot-
+// timer reads the current tree) and the deployed schedule can be hot-
 // swapped (Swap — applied at a root period boundary after draining every
-// in-flight task, so the single-port discipline and the pattern-cursor
-// routing stay consistent across the transition). Snapshot exposes the
-// per-node execution counters the drift detector watches.
+// in-flight task through the engine's quiescence counters, so the
+// single-port discipline and the pattern-cursor routing stay consistent
+// across the transition). Snapshot exposes the per-node execution
+// counters the drift detector watches.
 //
 // Because routing is deterministic (pattern cursors), the per-node
 // execution counts of a batch are exactly reproducible even though wall
@@ -34,11 +34,13 @@ package runtime
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bwc/internal/bwcerr"
+	"bwc/internal/engine"
 	"bwc/internal/obs"
 	"bwc/internal/rat"
 	"bwc/internal/sched"
@@ -55,12 +57,19 @@ type Config struct {
 	// Scale converts one virtual time unit to wall-clock duration. Keep
 	// it small in tests (e.g. 50µs) and realistic in deployments.
 	Scale time.Duration
-	// Work, if non-nil, runs on the executing node's computer goroutine
-	// for every task (after the simulated computation time).
+	// Work, if non-nil, runs on the executing node for every task (after
+	// the simulated computation time, before the node's CPU is freed for
+	// the next task).
 	Work func(node tree.NodeID, task int)
+	// Recorder, when non-nil, captures the backend-independent per-node
+	// decision streams of the run (engine.Recorder); the differential
+	// tests compare its fingerprint against the simulator's.
+	Recorder *engine.Recorder
 	// Obs, when enabled, instruments the run: one wall-clock span per
-	// link transfer (one track per edge, e.g. "P0→P1") and per-node
-	// bwc_runtime_tasks_executed_total counters. nil disables.
+	// link transfer (one track per edge, e.g. "P0→P1"), per-node
+	// bwc_runtime_tasks_executed_total counters and per-node buffer
+	// gauges (bwc_node_buffer_tasks, bwc_node_buffer_max_tasks). nil
+	// disables.
 	Obs *obs.Scope
 }
 
@@ -74,32 +83,9 @@ type Report struct {
 	Elapsed time.Duration
 	// Swaps is the number of schedule hot-swaps applied during the run.
 	Swaps int
-}
-
-// task travels through the platform.
-type task struct {
-	id int
-}
-
-// outgoing pairs a task with the child (insertion-order index) it is
-// destined for.
-type outgoing struct {
-	t     task
-	child int
-}
-
-// routing is one immutable generation of a node's pattern; routers reset
-// their cursor whenever the generation pointer changes.
-type routing struct {
-	pattern []sched.Slot
-}
-
-type nodeRuntime struct {
-	id      tree.NodeID
-	route   atomic.Pointer[routing]
-	inbox   chan task
-	compute chan task
-	sendQ   chan outgoing
+	// MaxBuffered is the peak buffered-task count over all nodes (the
+	// engine's watermark — the quantity Proposition 3's χ bounds).
+	MaxBuffered int
 }
 
 // swapReq asks the master to install a new schedule at the next period
@@ -111,21 +97,28 @@ type swapReq struct {
 
 // Execution is a live run of a batch.
 type Execution struct {
-	cfg   Config
-	nodes []*nodeRuntime
-	phys  atomic.Pointer[tree.Tree]
-	cur   atomic.Pointer[sched.Schedule]
+	cfg  Config
+	core *engine.Core
 
-	executed  []atomic.Int64
-	completed atomic.Int64
-	doneCh    chan struct{} // closed when the last task completes
-	swapCh    chan swapReq
-	swaps     atomic.Int64
+	executed []atomic.Int64
+	nDone    atomic.Int64
+	doneCh   chan struct{} // closed when the last task completes
+	swapCh   chan swapReq
+	swaps    atomic.Int64
 
 	start   time.Time
 	elapsed atomic.Int64 // makespan in ns, set once at completion
-	workers sync.WaitGroup
+	master  sync.WaitGroup
 	waited  bool
+
+	// Pre-registered instruments and track names (nil when unobserved)
+	// so the hook path builds no strings and takes no registry locks.
+	sc        *obs.Scope
+	execCtr   []*obs.Counter
+	bufG      []*obs.Gauge
+	bufMaxG   []*obs.Gauge
+	linkTrack []string     // "<parent>→<child>", indexed by child node
+	sendSpan  []obs.SpanID // active transfer span, indexed by sender
 }
 
 // Execute runs a batch of cfg.Tasks tasks to completion and reports the
@@ -157,8 +150,63 @@ func checkSchedule(s *sched.Schedule) error {
 	return nil
 }
 
-// Start launches the node goroutines and the clocked master and returns
-// the live execution. Wait must be called to collect the report.
+// wallClock realizes engine durations as scaled timers. Callbacks run on
+// timer goroutines; the engine serializes its own state.
+type wallClock struct{ e *Execution }
+
+func (c wallClock) After(d rat.R, fn func()) {
+	time.AfterFunc(c.e.scaleOf(d), fn)
+}
+
+// hooks adapts the engine's transition stream to the runtime's report
+// counters, completion signal and observability (kept off the public
+// Execution API).
+type hooks struct{ e *Execution }
+
+func (h hooks) ComputeStarted(n tree.NodeID, tk engine.Task, w rat.R) {}
+
+func (h hooks) ComputeFinished(n tree.NodeID, tk engine.Task) {
+	e := h.e
+	if e.cfg.Work != nil {
+		e.cfg.Work(n, tk.ID)
+	}
+	e.executed[n].Add(1)
+	if e.execCtr != nil {
+		e.execCtr[n].Inc()
+	}
+	if e.nDone.Add(1) == int64(e.cfg.Tasks) {
+		e.elapsed.Store(int64(time.Since(e.start)))
+		close(e.doneCh)
+	}
+}
+
+func (h hooks) SendStarted(n, child tree.NodeID, tk engine.Task, c rat.R) {
+	e := h.e
+	if e.linkTrack != nil {
+		// The single send port guarantees at most one live transfer per
+		// sender, so one slot per node holds the open span.
+		e.sendSpan[n] = e.sc.StartSpan("task "+strconv.Itoa(tk.ID), e.linkTrack[child], 0)
+	}
+}
+
+func (h hooks) SendFinished(n, child tree.NodeID, tk engine.Task) {
+	if h.e.linkTrack != nil {
+		h.e.sc.EndSpan(h.e.sendSpan[n])
+	}
+}
+
+func (h hooks) BufferChanged(n tree.NodeID, held int) {
+	e := h.e
+	if e.bufG != nil {
+		e.bufG[n].Set(int64(held))
+		e.bufMaxG[n].SetMax(int64(held))
+	}
+}
+
+func (h hooks) TaskDropped(n tree.NodeID, tk engine.Task) {}
+
+// Start launches the engine and the clocked master and returns the live
+// execution. Wait must be called to collect the report.
 func Start(cfg Config) (*Execution, error) {
 	if err := checkSchedule(cfg.Schedule); err != nil {
 		return nil, err
@@ -171,140 +219,49 @@ func Start(cfg Config) (*Execution, error) {
 	}
 	s := cfg.Schedule
 	t := s.Tree
-	root := t.Root()
 
 	e := &Execution{
 		cfg:      cfg,
-		nodes:    make([]*nodeRuntime, t.Len()),
 		executed: make([]atomic.Int64, t.Len()),
 		doneCh:   make(chan struct{}),
 		swapCh:   make(chan swapReq),
 	}
-	e.phys.Store(t)
-	e.cur.Store(s)
 
-	// Channel capacities: χ bounds the steady-state buffering per node
-	// (Proposition 3); headroom keeps transient bursts off the critical
-	// path without hiding backpressure entirely.
-	capFor := func(id tree.NodeID) int {
-		chi := s.Chi(id)
-		c := 16
-		if chi.IsInt64() && chi.Int64() < 1<<16 {
-			c += int(chi.Int64()) * 4
-		}
-		return c
-	}
-	for i := range e.nodes {
-		id := tree.NodeID(i)
-		n := &nodeRuntime{
-			id:      id,
-			inbox:   make(chan task, capFor(id)),
-			compute: make(chan task, capFor(id)),
-			sendQ:   make(chan outgoing, capFor(id)),
-		}
-		n.route.Store(&routing{pattern: s.Nodes[i].Pattern})
-		e.nodes[i] = n
-	}
-
-	// Instruments, pre-registered so the goroutines only touch atomics
-	// (all nil-safe no-ops when cfg.Obs is disabled).
-	sc := cfg.Obs
-	execCtr := make([]*obs.Counter, t.Len())
-	if sc.Enabled() {
-		reg := sc.Registry()
-		for i := range execCtr {
-			execCtr[i] = reg.CounterLabeled("bwc_runtime_tasks_executed_total",
-				"tasks executed by the node during live runs", "node", t.Name(tree.NodeID(i)))
+	// Instruments, pre-registered so the hook path only touches atomics.
+	if cfg.Obs.Enabled() {
+		e.sc = cfg.Obs
+		reg := e.sc.Registry()
+		n := t.Len()
+		e.execCtr = make([]*obs.Counter, n)
+		e.bufG = make([]*obs.Gauge, n)
+		e.bufMaxG = make([]*obs.Gauge, n)
+		e.linkTrack = make([]string, n)
+		e.sendSpan = make([]obs.SpanID, n)
+		for i := 0; i < n; i++ {
+			id := tree.NodeID(i)
+			name := t.Name(id)
+			e.execCtr[i] = reg.CounterLabeled("bwc_runtime_tasks_executed_total",
+				"tasks executed by the node during live runs", "node", name)
+			e.bufG[i] = reg.GaugeLabeled("bwc_node_buffer_tasks",
+				"tasks buffered at the node (compute + send queues)", "node", name)
+			e.bufMaxG[i] = reg.GaugeLabeled("bwc_node_buffer_max_tasks",
+				"peak buffered-task count at the node", "node", name)
+			if p := t.Parent(id); p != tree.None {
+				e.linkTrack[i] = t.Name(p) + "→" + name
+			}
 		}
 	}
 
-	// Per-node goroutines. Topology (names, parent/child structure) is
-	// immutable for the run; weights are read from the current physics
-	// tree at each use, so SetPhysics takes effect per task.
-	for _, n := range e.nodes {
-		n := n
-		// Router: event-driven assignment via the current pattern.
-		if n.id != root {
-			e.workers.Add(1)
-			go func() {
-				defer e.workers.Done()
-				cursor := 0
-				var gen *routing
-				for tk := range n.inbox {
-					r := n.route.Load()
-					if r != gen {
-						gen, cursor = r, 0
-					}
-					if len(r.pattern) == 0 {
-						panic(fmt.Sprintf("runtime: node %s received a task but expects none", t.Name(n.id)))
-					}
-					slot := r.pattern[cursor]
-					cursor = (cursor + 1) % len(r.pattern)
-					if slot.Dest == sched.Self {
-						n.compute <- tk
-					} else {
-						n.sendQ <- outgoing{t: tk, child: int(slot.Dest)}
-					}
-				}
-				close(n.compute)
-				close(n.sendQ)
-			}()
-		}
-		// Computer: the node's CPU.
-		if !t.IsSwitch(n.id) {
-			e.workers.Add(1)
-			go func() {
-				defer e.workers.Done()
-				for tk := range n.compute {
-					w, _ := e.phys.Load().ProcTime(n.id)
-					time.Sleep(e.scaleOf(w))
-					if cfg.Work != nil {
-						cfg.Work(n.id, tk.id)
-					}
-					e.executed[n.id].Add(1)
-					execCtr[n.id].Inc()
-					if e.completed.Add(1) == int64(cfg.Tasks) {
-						e.elapsed.Store(int64(time.Since(e.start)))
-						close(e.doneCh)
-					}
-				}
-			}()
-		}
-		// Sender: the single send port.
-		e.workers.Add(1)
-		go func() {
-			defer e.workers.Done()
-			children := t.Children(n.id)
-			// One span track per outgoing link; names precomputed so the
-			// transfer loop builds no strings.
-			var linkTrack []string
-			if sc.Enabled() {
-				linkTrack = make([]string, len(children))
-				for j, c := range children {
-					linkTrack[j] = t.Name(n.id) + "→" + t.Name(c)
-				}
-			}
-			for out := range n.sendQ {
-				child := children[out.child]
-				var span obs.SpanID
-				if linkTrack != nil {
-					span = sc.StartSpan(fmt.Sprintf("task %d", out.t.id), linkTrack[out.child], 0)
-				}
-				time.Sleep(e.scaleOf(e.phys.Load().CommTime(child)))
-				e.nodes[child].inbox <- out.t
-				if linkTrack != nil {
-					sc.EndSpan(span)
-				}
-			}
-			// Drain complete: cascade shutdown to children.
-			for _, c := range children {
-				close(e.nodes[c].inbox)
-			}
-		}()
-	}
+	e.core = engine.New(engine.Config{
+		Schedule: s,
+		Clock:    wallClock{e},
+		Hooks:    hooks{e},
+		Recorder: cfg.Recorder,
+	})
 
 	e.start = time.Now()
-	go e.master()
+	e.master.Add(1)
+	go e.runMaster()
 	return e, nil
 }
 
@@ -312,12 +269,12 @@ func (e *Execution) scaleOf(v rat.R) time.Duration {
 	return time.Duration(v.Float64() * float64(e.cfg.Scale))
 }
 
-// master paces the batch release and serves swap requests at period
+// runMaster paces the batch release and serves swap requests at period
 // boundaries. Pacing is re-anchored after every swap so the new pattern's
 // slot offsets are honored from a clean boundary.
-func (e *Execution) master() {
-	root := e.cur.Load().Tree.Root()
-	rn := e.nodes[root]
+func (e *Execution) runMaster() {
+	defer e.master.Done()
+	pacer := engine.NewPacer(e.core.Schedule(), false)
 	released := 0
 	anchor := e.start
 	p := int64(0)
@@ -326,53 +283,43 @@ func (e *Execution) master() {
 		// released into the current period yet.
 		select {
 		case req := <-e.swapCh:
-			if err := e.applySwap(req, released); err == nil {
+			if err := e.applySwap(req); err == nil {
 				anchor, p = time.Now(), 0
+				pacer = engine.NewPacer(e.core.Schedule(), false)
 			}
 		default:
 		}
-		rs := &e.cur.Load().Nodes[root]
-		tw := rs.TW
-		for _, slot := range rs.Pattern {
-			if released >= e.cfg.Tasks {
-				break
-			}
-			at := rat.FromInt(p).Add(slot.Pos).Mul(tw)
+		for i := 0; i < pacer.Len() && released < e.cfg.Tasks; i++ {
+			at := pacer.At(p, i)
 			if wait := e.scaleOf(at) - time.Since(anchor); wait > 0 {
 				time.Sleep(wait)
 			}
-			tk := task{id: released}
+			e.core.Release(pacer.Dest(i), engine.Task{ID: released})
 			released++
-			if slot.Dest == sched.Self {
-				rn.compute <- tk
-			} else {
-				rn.sendQ <- outgoing{t: tk, child: int(slot.Dest)}
-			}
 		}
 		p++
 	}
 	// All tasks are in flight; refuse late swaps while waiting for the
-	// batch to finish, then shut the pipeline down from the top.
+	// batch to finish.
 	for {
 		select {
 		case req := <-e.swapCh:
 			req.done <- fmt.Errorf("runtime: batch already fully released")
 		case <-e.doneCh:
-			close(rn.compute)
-			close(rn.sendQ)
 			return
 		}
 	}
 }
 
-// applySwap drains the platform (every released task computed), installs
-// the new per-node patterns atomically, and acknowledges the request.
-// Called by the master between periods.
-func (e *Execution) applySwap(req swapReq, released int) error {
-	old := e.cur.Load()
+// applySwap drains the platform (every released task computed — the
+// engine's quiescence condition), installs the new per-node patterns
+// atomically through the engine, and acknowledges the request. Called by
+// the master between periods.
+func (e *Execution) applySwap(req swapReq) error {
+	old := e.core.Schedule()
 	err := checkSchedule(req.s)
 	if err == nil {
-		if terr := sameShape(old.Tree, req.s.Tree); terr != nil {
+		if terr := engine.SameShape(old.Tree, req.s.Tree); terr != nil {
 			err = fmt.Errorf("runtime: swap: %v", terr)
 		}
 	}
@@ -382,56 +329,32 @@ func (e *Execution) applySwap(req swapReq, released int) error {
 	}
 	// Drain: in-flight bunches finish under the old routing, so the
 	// single-port discipline never sees a mixed period.
-	for e.completed.Load() < int64(released) {
+	for !e.core.Quiescent() {
 		time.Sleep(e.cfg.Scale / 4)
 	}
-	for i := range e.nodes {
-		e.nodes[i].route.Store(&routing{pattern: req.s.Nodes[i].Pattern})
-	}
-	e.cur.Store(req.s)
+	e.core.Install(req.s)
 	e.swaps.Add(1)
 	req.done <- nil
 	return nil
 }
 
-// sameShape checks two trees share names and parent structure (weights
-// may differ) — the invariant both SetPhysics and Swap require.
-func sameShape(a, b *tree.Tree) error {
-	if a.Len() != b.Len() {
-		return fmt.Errorf("topology changed: %d vs %d nodes", a.Len(), b.Len())
-	}
-	for id := 0; id < a.Len(); id++ {
-		n := tree.NodeID(id)
-		if a.Name(n) != b.Name(n) {
-			return fmt.Errorf("node %d renamed %q -> %q", id, a.Name(n), b.Name(n))
-		}
-		if a.Parent(n) != b.Parent(n) {
-			return fmt.Errorf("node %q re-parented", a.Name(n))
-		}
-		if a.IsSwitch(n) != b.IsSwitch(n) {
-			return fmt.Errorf("node %q changed between switch and computing node", a.Name(n))
-		}
-	}
-	return nil
-}
-
 // SetPhysics publishes a re-measured platform (same topology, new
-// weights). Sleeps started before the call finish under the old weights;
+// weights). Timers started before the call finish under the old weights;
 // every later task reads the new tree — the wall-clock analogue of
 // sim.PhysicsChange.
 func (e *Execution) SetPhysics(t *tree.Tree) error {
-	if err := sameShape(e.phys.Load(), t); err != nil {
+	if err := engine.SameShape(e.core.Physics(), t); err != nil {
 		return fmt.Errorf("runtime: physics: %v", err)
 	}
-	e.phys.Store(t)
+	e.core.SetPhysics(t)
 	return nil
 }
 
 // Physics returns the platform tree currently in effect.
-func (e *Execution) Physics() *tree.Tree { return e.phys.Load() }
+func (e *Execution) Physics() *tree.Tree { return e.core.Physics() }
 
 // Schedule returns the schedule currently deployed.
-func (e *Execution) Schedule() *sched.Schedule { return e.cur.Load() }
+func (e *Execution) Schedule() *sched.Schedule { return e.core.Schedule() }
 
 // Snapshot returns the current per-node execution counts (indexed by
 // NodeID). Safe to call concurrently with the run.
@@ -444,7 +367,7 @@ func (e *Execution) Snapshot() []int64 {
 }
 
 // Completed returns how many tasks of the batch have been computed.
-func (e *Execution) Completed() int { return int(e.completed.Load()) }
+func (e *Execution) Completed() int { return int(e.nDone.Load()) }
 
 // Done exposes completion: the channel closes when the last task of the
 // batch has been computed.
@@ -474,11 +397,12 @@ func (e *Execution) Wait() (*Report, error) {
 	}
 	e.waited = true
 	<-e.doneCh
-	e.workers.Wait()
+	e.master.Wait()
 	rep := &Report{
-		Executed: make([]int, len(e.executed)),
-		Elapsed:  time.Duration(e.elapsed.Load()),
-		Swaps:    int(e.swaps.Load()),
+		Executed:    make([]int, len(e.executed)),
+		Elapsed:     time.Duration(e.elapsed.Load()),
+		Swaps:       int(e.swaps.Load()),
+		MaxBuffered: e.core.MaxWatermark(),
 	}
 	for i := range e.executed {
 		rep.Executed[i] = int(e.executed[i].Load())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bwc/internal/des"
+	"bwc/internal/engine"
 	"bwc/internal/obs"
 	"bwc/internal/rat"
 	"bwc/internal/sched"
@@ -96,7 +97,7 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) {
 	}
 	base := opt.Phases[0].Schedule.Tree
 	for i, p := range opt.Phases {
-		if err := sameShape(base, p.Schedule.Tree); err != nil {
+		if err := engine.SameShape(base, p.Schedule.Tree); err != nil {
 			return nil, fmt.Errorf("sim: phase %d: %v", i, err)
 		}
 		if i > 0 && !opt.Phases[i-1].At.Less(p.At) {
@@ -110,7 +111,7 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) {
 		}
 	}
 	for i, pc := range opt.Physics {
-		if err := sameShape(base, pc.Tree); err != nil {
+		if err := engine.SameShape(base, pc.Tree); err != nil {
 			return nil, fmt.Errorf("sim: physics change %d: %v", i, err)
 		}
 		if i > 0 && !opt.Physics[i-1].At.Less(pc.At) {
@@ -119,21 +120,24 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) {
 	}
 
 	sm := &simulator{
-		eng:     &des.Engine{},
-		t:       base,
-		s:       opt.Phases[0].Schedule,
-		tr:      &trace.Trace{Tree: base},
-		nodes:   make([]nodeState, base.Len()),
-		opt:     Options{Stop: opt.Stop, MaxEvents: opt.MaxEvents, SkipIntervals: opt.SkipIntervals},
-		stats:   &Stats{StopAt: opt.Stop, TreePeriod: opt.Phases[0].Schedule.TreePeriod()},
-		dynamic: true,
-	}
-	for i := range sm.nodes {
-		sm.nodes[i] = nodeState{id: tree.NodeID(i), pattern: opt.Phases[0].Schedule.Nodes[i].Pattern}
+		eng:   &des.Engine{},
+		t:     base,
+		s:     opt.Phases[0].Schedule,
+		tr:    &trace.Trace{Tree: base},
+		opt:   Options{Stop: opt.Stop, MaxEvents: opt.MaxEvents, SkipIntervals: opt.SkipIntervals},
+		stats: &Stats{StopAt: opt.Stop, TreePeriod: opt.Phases[0].Schedule.TreePeriod()},
 	}
 	if opt.Obs.Enabled() {
 		sm.initObs(opt.Obs)
 	}
+	// BestEffort: a phase switch can strand in-flight tasks at nodes the
+	// new schedule no longer uses; the engine re-routes or drops them.
+	sm.core = engine.New(engine.Config{
+		Schedule:   opt.Phases[0].Schedule,
+		Clock:      sm.eng,
+		Hooks:      sm,
+		BestEffort: true,
+	})
 
 	// Physics swaps.
 	for _, pc := range opt.Physics {
@@ -141,7 +145,7 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) {
 			continue
 		}
 		t := pc.Tree
-		sm.eng.At(pc.At, func() { sm.t = t })
+		sm.eng.At(pc.At, func() { sm.core.SetPhysics(t) })
 	}
 	// Phase activations (the first is already in place) and the root's
 	// release chains, one per phase window.
@@ -155,9 +159,11 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) {
 		}
 		s := p.Schedule
 		if i > 0 {
-			sm.eng.At(p.At, func() { sm.applySchedule(s) })
+			sm.eng.At(p.At, func() { sm.core.Install(s) })
 		}
-		sm.genPhase(s, p.At, until, 0)
+		if rs := &s.Nodes[s.Tree.Root()]; rs.Active && len(rs.Pattern) > 0 {
+			sm.genPhase(engine.NewPacer(s, false), p.At, until, 0)
+		}
 	}
 	if sm.sc != nil {
 		if err := sm.drainObserved(opt.MaxEvents); err != nil {
@@ -173,7 +179,7 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) {
 		Trace:     sm.tr,
 		Generated: sm.stats.Generated,
 		Completed: sm.tr.TotalCompleted(),
-		Dropped:   sm.dropped,
+		Dropped:   int(sm.core.Dropped()),
 		Obs:       sm.sc,
 	}
 	if last, ok := sm.tr.LastCompletion(); ok && opt.Stop.Less(last) {
@@ -187,65 +193,27 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) {
 	return run, nil
 }
 
-// applySchedule swaps every node onto a new schedule's pattern, resetting
-// cursors; queued tasks are re-routed by the new pattern as they are
-// handled.
-func (sm *simulator) applySchedule(s *sched.Schedule) {
-	sm.s = s
-	for i := range sm.nodes {
-		ns := &sm.nodes[i]
-		ns.pattern = s.Nodes[i].Pattern
-		ns.cursor = 0
-	}
-}
-
 // genPhase releases the root's tasks for one phase window [start, until)
 // using the phase schedule's pacing, anchored at the phase start.
-func (sm *simulator) genPhase(s *sched.Schedule, start, until rat.R, p int64) {
-	rootSched := &s.Nodes[s.Tree.Root()]
-	if !rootSched.Active || len(rootSched.Pattern) == 0 {
-		return
-	}
-	tw := rootSched.TW
-	base := start.Add(tw.Mul(rat.FromInt(p)))
+func (sm *simulator) genPhase(pacer *engine.Pacer, start, until rat.R, p int64) {
+	base := start.Add(pacer.PeriodStart(p))
 	if !base.Less(until) {
 		return
 	}
-	for _, slot := range rootSched.Pattern {
-		at := base.Add(slot.Pos.Mul(tw))
+	for i := 0; i < pacer.Len(); i++ {
+		at := start.Add(pacer.At(p, i))
 		if !at.Less(until) {
 			continue
 		}
-		dest := slot.Dest
+		dest := pacer.Dest(i)
 		sm.eng.At(at, func() {
 			sm.stats.Generated++
 			sm.genCtr.Inc()
-			sm.assign(sm.t.Root(), dest)
+			sm.core.Release(dest, engine.Task{ID: sm.stats.Generated - 1})
 		})
 	}
-	next := base.Add(tw)
+	next := base.Add(pacer.TW())
 	if next.Less(until) {
-		sm.eng.At(next, func() { sm.genPhase(s, start, until, p+1) })
+		sm.eng.At(next, func() { sm.genPhase(pacer, start, until, p+1) })
 	}
-}
-
-// sameShape checks two trees share names and parent structure (weights may
-// differ).
-func sameShape(a, b *tree.Tree) error {
-	if a.Len() != b.Len() {
-		return fmt.Errorf("topology changed: %d vs %d nodes", a.Len(), b.Len())
-	}
-	for id := 0; id < a.Len(); id++ {
-		n := tree.NodeID(id)
-		if a.Name(n) != b.Name(n) {
-			return fmt.Errorf("node %d renamed %q -> %q", id, a.Name(n), b.Name(n))
-		}
-		if a.Parent(n) != b.Parent(n) {
-			return fmt.Errorf("node %q re-parented", a.Name(n))
-		}
-		if a.IsSwitch(n) != b.IsSwitch(n) {
-			return fmt.Errorf("node %q changed between switch and computing node", a.Name(n))
-		}
-	}
-	return nil
 }

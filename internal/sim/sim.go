@@ -5,7 +5,13 @@
 // useful computation (Proposition 4), the steady-state regime, and the
 // wind-down after the root stops delegating tasks.
 //
-// Node behavior is exactly the paper's event-driven schedule (Section 6.2):
+// The package is the virtual-time backend of the shared scheduling engine
+// (internal/engine): the per-node receive/compute/send automaton, the
+// Ψ-bunch routing and the buffer accounting all live in the engine core,
+// driven here by the DES clock (des.Engine satisfies engine.Clock
+// directly). What remains in this package is the backend's own concern —
+// the root's release chains over virtual time, the trace/span/metric
+// translation of the engine's hook stream, and the Section 8 statistics.
 //
 //   - Every node except the root acts without any time-related information.
 //     Incoming tasks are assigned round-robin through the node's
@@ -29,6 +35,7 @@ import (
 	"strconv"
 
 	"bwc/internal/des"
+	"bwc/internal/engine"
 	"bwc/internal/obs"
 	"bwc/internal/rat"
 	"bwc/internal/sched"
@@ -58,6 +65,10 @@ type Options struct {
 	// SkipIntervals suppresses Gantt interval recording (completions and
 	// buffer samples are always recorded); useful for large sweeps.
 	SkipIntervals bool
+	// Recorder, when non-nil, captures the backend-independent per-node
+	// decision streams of the run (engine.Recorder); the differential
+	// tests compare its fingerprint against the wall-clock runtime's.
+	Recorder *engine.Recorder
 	// Obs, when enabled, instruments the run: one span per DES event
 	// batch (track "des"), one span per Send/Compute/Recv interval
 	// (tracks "<node>/S|C|R"), per-node buffer-occupancy gauges
@@ -109,30 +120,18 @@ type Run struct {
 	Obs *obs.Scope
 }
 
-type nodeState struct {
-	id        tree.NodeID
-	pattern   []sched.Slot
-	cursor    int
-	computeQ  int
-	computing bool
-	sendQ     []int // child indices, FIFO
-	sending   bool
-	held      int
-}
-
+// simulator is the virtual-time backend: it owns the DES clock and the
+// engine core, translates the engine's hook stream into the trace and
+// the observability scope, and paces the root's releases.
 type simulator struct {
 	eng   *des.Engine
+	core  *engine.Core
+	pacer *engine.Pacer
 	t     *tree.Tree
 	s     *sched.Schedule
 	tr    *trace.Trace
-	nodes []nodeState
 	opt   Options
 	stats *Stats
-	// dynamic enables best-effort handling of tasks that arrive at nodes
-	// the active schedule no longer uses (only possible across phase
-	// switches); dropped counts tasks no node could handle.
-	dynamic bool
-	dropped int
 
 	// sc is the (possibly nil) observability scope. When set, the fields
 	// below hold its pre-registered instruments and the per-node span
@@ -192,6 +191,54 @@ func (sm *simulator) initObs(sc *obs.Scope) {
 		sm.recvNm[i] = "recv " + name
 	}
 }
+
+// The engine.Hooks implementation: every hook fires inside a DES event,
+// so eng.Now() is the exact rational instant of the transition.
+
+func (sm *simulator) ComputeStarted(n tree.NodeID, tk engine.Task, w rat.R) {
+	start := sm.eng.Now()
+	end := start.Add(w)
+	if !sm.opt.SkipIntervals {
+		sm.tr.AddInterval(trace.Interval{Node: n, Kind: trace.Compute, Start: start, End: end, Peer: tree.None})
+	} else if sm.sc != nil {
+		// With intervals suppressed the span store is the only record, so
+		// pay the per-event append; otherwise spans are bulk-converted from
+		// the trace after the run (exportIntervalSpans).
+		sm.sc.AddSpan(obs.Span{Name: "compute", Track: sm.trkC[n], Start: start, End: end})
+	}
+}
+
+func (sm *simulator) ComputeFinished(n tree.NodeID, tk engine.Task) {
+	sm.tr.AddCompletion(n, sm.eng.Now())
+	sm.doneCtr.Inc()
+	if sm.doneNode != nil {
+		sm.doneNode[n].Inc()
+	}
+}
+
+func (sm *simulator) SendStarted(n, child tree.NodeID, tk engine.Task, c rat.R) {
+	start := sm.eng.Now()
+	end := start.Add(c)
+	if !sm.opt.SkipIntervals {
+		sm.tr.AddInterval(trace.Interval{Node: n, Kind: trace.Send, Start: start, End: end, Peer: child})
+		sm.tr.AddInterval(trace.Interval{Node: child, Kind: trace.Recv, Start: start, End: end, Peer: n})
+	} else if sm.sc != nil {
+		sm.sc.AddSpan(obs.Span{Name: sm.sendNm[child], Track: sm.trkS[n], Start: start, End: end})
+		sm.sc.AddSpan(obs.Span{Name: sm.recvNm[n], Track: sm.trkR[child], Start: start, End: end})
+	}
+}
+
+func (sm *simulator) SendFinished(n, child tree.NodeID, tk engine.Task) {}
+
+func (sm *simulator) BufferChanged(n tree.NodeID, held int) {
+	sm.tr.AddBufferSample(n, sm.eng.Now(), held)
+	if sm.sc != nil {
+		sm.bufG[n].Set(int64(held))
+		sm.bufMaxG[n].SetMax(int64(held))
+	}
+}
+
+func (sm *simulator) TaskDropped(n tree.NodeID, tk engine.Task) {}
 
 // Simulate runs the schedule until the root stops and all in-flight work
 // drains, then post-processes the trace into Stats.
@@ -257,16 +304,19 @@ func Simulate(s *sched.Schedule, opt Options) (*Run, error) {
 		t:     t,
 		s:     s,
 		tr:    &trace.Trace{Tree: t},
-		nodes: make([]nodeState, t.Len()),
 		opt:   opt,
 		stats: st,
-	}
-	for i := range sm.nodes {
-		sm.nodes[i] = nodeState{id: tree.NodeID(i), pattern: s.Nodes[i].Pattern}
 	}
 	if opt.Obs.Enabled() {
 		sm.initObs(opt.Obs)
 	}
+	sm.core = engine.New(engine.Config{
+		Schedule: s,
+		Clock:    sm.eng,
+		Hooks:    sm,
+		Recorder: opt.Recorder,
+	})
+	sm.pacer = engine.NewPacer(s, opt.BurstRoot)
 
 	sm.schedulePeriod(0, 0)
 	if sm.sc != nil {
@@ -386,18 +436,13 @@ func smallInt(v uint64) string {
 // (or until the Tasks budget is exhausted), then chains the next period
 // lazily. released counts slots scheduled so far in Tasks mode.
 func (sm *simulator) schedulePeriod(p, released int64) {
-	rootSched := &sm.s.Nodes[sm.t.Root()]
-	tw := rootSched.TW
-	base := tw.Mul(rat.FromInt(p))
+	base := sm.pacer.PeriodStart(p)
 	timed := sm.opt.Tasks == 0
 	if timed && !base.Less(sm.opt.Stop) {
 		return
 	}
-	for _, slot := range rootSched.Pattern {
-		at := base.Add(slot.Pos.Mul(tw))
-		if sm.opt.BurstRoot {
-			at = base // released in pattern order at the period start
-		}
+	for i := 0; i < sm.pacer.Len(); i++ {
+		at := sm.pacer.At(p, i)
 		if timed && !at.Less(sm.opt.Stop) {
 			continue
 		}
@@ -409,149 +454,21 @@ func (sm *simulator) schedulePeriod(p, released int64) {
 			// The last release time is the batch's effective stop.
 			sm.stats.StopAt = at
 		}
-		dest := slot.Dest
+		dest := sm.pacer.Dest(i)
 		sm.eng.At(at, func() {
 			sm.stats.Generated++
 			sm.genCtr.Inc()
-			sm.assign(sm.t.Root(), dest)
+			sm.core.Release(dest, engine.Task{ID: sm.stats.Generated - 1})
 		})
 	}
 	if !timed && released >= int64(sm.opt.Tasks) {
 		return
 	}
-	next := base.Add(tw)
+	next := base.Add(sm.pacer.TW())
 	if timed && !next.Less(sm.opt.Stop) {
 		return
 	}
 	sm.eng.At(next, func() { sm.schedulePeriod(p+1, released) })
-}
-
-// assign hands one task at node n to destination dest (Self or child
-// index), updating queues and kicking the relevant resource.
-func (sm *simulator) assign(n tree.NodeID, dest sched.Dest) {
-	ns := &sm.nodes[n]
-	if dest == sched.Self {
-		ns.computeQ++
-	} else {
-		ns.sendQ = append(ns.sendQ, int(dest))
-	}
-	// Kick before sampling so a task that enters service immediately is
-	// never counted as buffered.
-	sm.kickCompute(ns)
-	sm.kickSend(ns)
-	sm.sampleBuffer(ns)
-}
-
-// arrive processes a task arriving at non-root node n: route it through
-// the node's allocation pattern (event-driven, no clock).
-func (sm *simulator) arrive(n tree.NodeID) {
-	ns := &sm.nodes[n]
-	if len(ns.pattern) == 0 {
-		if sm.dynamic {
-			sm.stranded(n)
-			return
-		}
-		// In a static run a task delivered to a node that expects none is
-		// a schedule bug; surface loudly.
-		panic(fmt.Sprintf("sim: node %s received a task but has an empty pattern", sm.t.Name(n)))
-	}
-	slot := ns.pattern[ns.cursor]
-	ns.cursor = (ns.cursor + 1) % len(ns.pattern)
-	sm.assign(n, slot.Dest)
-}
-
-// stranded handles a task at a node whose active pattern is empty — only
-// possible after a dynamic schedule switch left in-flight tasks behind.
-// Best effort: compute locally, otherwise forward over the fastest link,
-// otherwise the task is dropped (reported in DynRun.Dropped).
-func (sm *simulator) stranded(n tree.NodeID) {
-	if !sm.t.IsSwitch(n) {
-		sm.assign(n, sched.Self)
-		return
-	}
-	children := sm.t.Children(n)
-	if len(children) == 0 {
-		sm.dropped++
-		return
-	}
-	best := 0
-	for j := 1; j < len(children); j++ {
-		if sm.t.CommTime(children[j]).Less(sm.t.CommTime(children[best])) {
-			best = j
-		}
-	}
-	sm.assign(n, sched.Dest(best))
-}
-
-func (sm *simulator) kickCompute(ns *nodeState) {
-	if ns.computing || ns.computeQ == 0 {
-		return
-	}
-	w, ok := sm.t.ProcTime(ns.id)
-	if !ok {
-		panic(fmt.Sprintf("sim: switch %s asked to compute", sm.t.Name(ns.id)))
-	}
-	ns.computing = true
-	ns.computeQ--
-	sm.sampleBuffer(ns)
-	start := sm.eng.Now()
-	end := start.Add(w)
-	if !sm.opt.SkipIntervals {
-		sm.tr.AddInterval(trace.Interval{Node: ns.id, Kind: trace.Compute, Start: start, End: end, Peer: tree.None})
-	} else if sm.sc != nil {
-		// With intervals suppressed the span store is the only record, so
-		// pay the per-event append; otherwise spans are bulk-converted from
-		// the trace after the run (exportIntervalSpans).
-		sm.sc.AddSpan(obs.Span{Name: "compute", Track: sm.trkC[ns.id], Start: start, End: end})
-	}
-	sm.eng.At(end, func() {
-		ns.computing = false
-		sm.tr.AddCompletion(ns.id, end)
-		sm.doneCtr.Inc()
-		if sm.doneNode != nil {
-			sm.doneNode[ns.id].Inc()
-		}
-		sm.kickCompute(ns)
-	})
-}
-
-func (sm *simulator) kickSend(ns *nodeState) {
-	if ns.sending || len(ns.sendQ) == 0 {
-		return
-	}
-	childIdx := ns.sendQ[0]
-	ns.sendQ = ns.sendQ[1:]
-	child := sm.t.Children(ns.id)[childIdx]
-	c := sm.t.CommTime(child)
-	ns.sending = true
-	sm.sampleBuffer(ns)
-	start := sm.eng.Now()
-	end := start.Add(c)
-	if !sm.opt.SkipIntervals {
-		sm.tr.AddInterval(trace.Interval{Node: ns.id, Kind: trace.Send, Start: start, End: end, Peer: child})
-		sm.tr.AddInterval(trace.Interval{Node: child, Kind: trace.Recv, Start: start, End: end, Peer: ns.id})
-	} else if sm.sc != nil {
-		sm.sc.AddSpan(obs.Span{Name: sm.sendNm[child], Track: sm.trkS[ns.id], Start: start, End: end})
-		sm.sc.AddSpan(obs.Span{Name: sm.recvNm[ns.id], Track: sm.trkR[child], Start: start, End: end})
-	}
-	sm.eng.At(end, func() {
-		ns.sending = false
-		sm.arrive(child)
-		sm.kickSend(ns)
-	})
-}
-
-func (sm *simulator) sampleBuffer(ns *nodeState) {
-	held := ns.computeQ + len(ns.sendQ)
-	if held == ns.held {
-		return
-	}
-	ns.held = held
-	sm.tr.AddBufferSample(ns.id, sm.eng.Now(), held)
-	if sm.sc != nil {
-		sm.bufG[ns.id].Set(int64(held))
-		sm.bufMaxG[ns.id].SetMax(int64(held))
-	}
 }
 
 func (sm *simulator) finishStats() {

@@ -1,0 +1,309 @@
+package bwc
+
+// Session: the concurrent, cache-backed front door of the facade. The
+// free functions (Solve, BuildSchedule, Simulate, ...) stay stateless —
+// every call re-runs the negotiation wave — while a Session memoizes the
+// solver layer across calls: platforms are keyed by a canonical
+// fingerprint of their text serialization, so repeated Solve /
+// BuildSchedule / Simulate / Execute calls on the same platform reuse
+// the cached BW-First result and materialized schedule instead of
+// re-deriving them. The execution layers below a Session all run on the
+// one shared scheduling engine (internal/engine); the Session adds the
+// memo on top.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"bwc/internal/adapt"
+	"bwc/internal/runtime"
+	"bwc/internal/sim"
+	"bwc/internal/treeio"
+)
+
+// PlatformFingerprint returns the canonical fingerprint Sessions key
+// their memo by: the SHA-256 of the platform's text serialization
+// (FormatPlatform). Trees with the same names, shape and weights share a
+// fingerprint; any weight change — a degraded link, a slowed node —
+// yields a different one.
+func PlatformFingerprint(t *Tree) string {
+	sum := sha256.Sum256([]byte(treeio.TextString(t)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Session is a goroutine-safe facade handle that memoizes the solver
+// layer. Create one per logical platform deployment (or one per process)
+// and share it freely: concurrent calls for the same platform coalesce
+// onto a single negotiation wave, and every later call is a cache hit
+// until the entry is invalidated.
+//
+//	sess := bwc.NewSession()
+//	res := sess.Solve(platform)           // runs BW-First, memoizes
+//	res2 := sess.Solve(platform)          // cache hit: same *Result
+//	run, err := sess.Simulate(platform, bwc.WithPeriods(4))
+//
+// Cached entries are invalidated when the platform is re-measured: an
+// adaptive run that re-negotiated (Session.SimulateAdaptive /
+// Session.ExecuteAdaptive with at least one adaptation) drops the stale
+// platform's entries and primes the memo with each re-solved schedule
+// under the measured platform's fingerprint. Invalidate and Reset give
+// manual control.
+//
+// Observability caveat: solver spans and counters are recorded by the
+// call that misses; cache hits return the memoized result without
+// re-emitting them.
+type Session struct {
+	defaults []Option
+
+	mu     sync.Mutex
+	fps    map[*Tree]string // Tree is immutable: fingerprint once per pointer
+	solves map[string]*solveEntry
+	scheds map[schedKey]*schedEntry
+	hits   int
+	misses int
+}
+
+// solveEntry coalesces concurrent solves of one platform: the first
+// caller runs the wave inside once, later callers block on it and share
+// the result.
+type solveEntry struct {
+	once sync.Once
+	res  *Result
+}
+
+// schedKey keys materialized schedules by platform fingerprint and the
+// construction options they were built with.
+type schedKey struct {
+	fp  string
+	opt ScheduleOptions
+}
+
+type schedEntry struct {
+	once sync.Once
+	s    *Schedule
+	err  error
+}
+
+// SessionStats is a snapshot of a Session's memo.
+type SessionStats struct {
+	// Hits counts calls served from the memo.
+	Hits int
+	// Misses counts calls that ran the solver (or schedule construction).
+	Misses int
+	// Solves and Schedules count the live entries per layer.
+	Solves    int
+	Schedules int
+}
+
+// NewSession returns an empty Session. The given options are prepended
+// to every call's options (e.g. a session-wide WithObserver).
+func NewSession(defaults ...Option) *Session {
+	return &Session{
+		defaults: defaults,
+		fps:      make(map[*Tree]string),
+		solves:   make(map[string]*solveEntry),
+		scheds:   make(map[schedKey]*schedEntry),
+	}
+}
+
+// fingerprint is PlatformFingerprint memoized per tree pointer, so cache
+// hits skip re-serializing the platform. Distinct pointers to identical
+// platforms still converge on one fingerprint.
+func (se *Session) fingerprint(t *Tree) string {
+	se.mu.Lock()
+	fp, ok := se.fps[t]
+	if !ok {
+		fp = PlatformFingerprint(t)
+		se.fps[t] = fp
+	}
+	se.mu.Unlock()
+	return fp
+}
+
+func (se *Session) options(opts []Option) []Option {
+	if len(se.defaults) == 0 {
+		return opts
+	}
+	return append(append([]Option(nil), se.defaults...), opts...)
+}
+
+// Solve returns the BW-First result for t, running the negotiation wave
+// only on the first call per fingerprint.
+func (se *Session) Solve(t *Tree, opts ...Option) *Result {
+	fp := se.fingerprint(t)
+	se.mu.Lock()
+	e, ok := se.solves[fp]
+	if !ok {
+		e = &solveEntry{}
+		se.solves[fp] = e
+		se.misses++
+	} else {
+		se.hits++
+	}
+	se.mu.Unlock()
+	e.once.Do(func() { e.res = Solve(t, se.options(opts)...) })
+	return e.res
+}
+
+// BuildSchedule returns the event-driven schedule for t, memoizing both
+// the solve and the constructed schedule (keyed by fingerprint and
+// WithScheduleOptions).
+func (se *Session) BuildSchedule(t *Tree, opts ...Option) (*Schedule, error) {
+	all := se.options(opts)
+	key := schedKey{fp: se.fingerprint(t), opt: buildCfg(all).schedOptions}
+	se.mu.Lock()
+	e, ok := se.scheds[key]
+	if !ok {
+		e = &schedEntry{}
+		se.scheds[key] = e
+		se.misses++
+	} else {
+		se.hits++
+	}
+	se.mu.Unlock()
+	e.once.Do(func() { e.s, e.err = BuildSchedule(se.Solve(t, opts...), all...) })
+	return e.s, e.err
+}
+
+// Simulate runs t's memoized schedule on the virtual-time backend of the
+// shared engine. Horizon options (WithStop / WithPeriods / WithTasks)
+// configure the run as in Simulate.
+func (se *Session) Simulate(t *Tree, opts ...Option) (*Run, error) {
+	s, err := se.BuildSchedule(t, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Simulate(s, buildCfg(se.options(opts)).buildSimOptions())
+}
+
+// Execute runs t's memoized schedule on the real-time backend of the
+// shared engine (WithTasks, WithScale, WithWork).
+func (se *Session) Execute(t *Tree, opts ...Option) (*ExecuteReport, error) {
+	s, err := se.BuildSchedule(t, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return runtime.Execute(buildCfg(se.options(opts)).buildExecConfig(s))
+}
+
+// Analyze simulates t's memoized schedule under an Observer and checks
+// the run against the paper's theory, reusing cached solver state across
+// repeated calls.
+func (se *Session) Analyze(t *Tree, opts ...Option) (*HealthReport, error) {
+	all := se.options(opts)
+	if buildCfg(all).obs == nil {
+		all = append(all, WithObserver(NewObserver()))
+	}
+	run, err := se.Simulate(t, all...)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeRun(run, all...), nil
+}
+
+// SimulateAdaptive runs the closed adaptation loop on t's memoized
+// schedule. When the controller re-negotiated at least once, the stale
+// platform's memo entries are dropped and each re-solved schedule primes
+// the memo under the measured platform's fingerprint, so a follow-up
+// Solve of the post-fault platform is already a cache hit.
+func (se *Session) SimulateAdaptive(t *Tree, opts ...Option) (*AdaptReport, error) {
+	s, err := se.BuildSchedule(t, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rep, rerr := adapt.SimulateAdaptive(s, buildCfg(se.options(opts)).buildAdaptOptions())
+	if rep != nil {
+		se.reprime(t, adaptedSchedules(rep.Adaptations), opts)
+	}
+	return rep, rerr
+}
+
+// ExecuteAdaptive is SimulateAdaptive on the real-time backend
+// (WithTasks, WithScale): the batch runs to completion, and any
+// re-negotiations invalidate and re-prime the memo the same way.
+func (se *Session) ExecuteAdaptive(t *Tree, opts ...Option) (*AdaptExecReport, error) {
+	s, err := se.BuildSchedule(t, opts...)
+	if err != nil {
+		return nil, err
+	}
+	cfg := buildCfg(se.options(opts))
+	rep, rerr := adapt.ExecuteAdaptive(s, adapt.ExecOptions{
+		Options: cfg.buildAdaptOptions(),
+		Tasks:   cfg.tasks,
+		Scale:   cfg.scale,
+		Work:    cfg.work,
+	})
+	if rep != nil {
+		se.reprime(t, adaptedSchedules(rep.Adaptations), opts)
+	}
+	return rep, rerr
+}
+
+func adaptedSchedules(ads []Adaptation) []*Schedule {
+	var out []*Schedule
+	for _, ad := range ads {
+		if ad.Schedule != nil && ad.Schedule.Res != nil {
+			out = append(out, ad.Schedule)
+		}
+	}
+	return out
+}
+
+// reprime drops the pre-fault platform's entries and installs the
+// re-solved schedules under their measured platforms' fingerprints.
+func (se *Session) reprime(t *Tree, resolved []*Schedule, opts []Option) {
+	if len(resolved) == 0 {
+		return
+	}
+	se.Invalidate(t)
+	opt := buildCfg(se.options(opts)).buildAdaptOptions().Sched
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	for _, s := range resolved {
+		fp := PlatformFingerprint(s.Tree)
+		ve := &solveEntry{res: s.Res}
+		ve.once.Do(func() {})
+		se.solves[fp] = ve
+		ce := &schedEntry{s: s}
+		ce.once.Do(func() {})
+		se.scheds[schedKey{fp: fp, opt: opt}] = ce
+	}
+}
+
+// Invalidate drops every memo entry for t's fingerprint (all schedule
+// options). Use it when the platform was re-measured outside the
+// Session's own adaptive entry points.
+func (se *Session) Invalidate(t *Tree) {
+	fp := se.fingerprint(t)
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	delete(se.solves, fp)
+	for k := range se.scheds {
+		if k.fp == fp {
+			delete(se.scheds, k)
+		}
+	}
+}
+
+// Reset drops every memo entry and zeroes the hit/miss counters.
+func (se *Session) Reset() {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	se.fps = make(map[*Tree]string)
+	se.solves = make(map[string]*solveEntry)
+	se.scheds = make(map[schedKey]*schedEntry)
+	se.hits, se.misses = 0, 0
+}
+
+// Stats returns a snapshot of the memo.
+func (se *Session) Stats() SessionStats {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return SessionStats{
+		Hits:      se.hits,
+		Misses:    se.misses,
+		Solves:    len(se.solves),
+		Schedules: len(se.scheds),
+	}
+}

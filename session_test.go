@@ -1,0 +1,174 @@
+package bwc_test
+
+import (
+	"sync"
+	"testing"
+
+	"bwc"
+)
+
+func sessionTree() *bwc.Tree { return bwc.GeneratePlatform(bwc.Uniform, 24, 11) }
+
+// TestSessionSolveCaches: the second Solve of the same platform is a
+// memo hit returning the identical result.
+func TestSessionSolveCaches(t *testing.T) {
+	sess := bwc.NewSession()
+	tr := sessionTree()
+	r1 := sess.Solve(tr)
+	r2 := sess.Solve(tr)
+	if r1 != r2 {
+		t.Fatal("cache hit returned a different *Result")
+	}
+	// A structurally identical rebuild shares the fingerprint, a changed
+	// weight does not.
+	clone, err := bwc.ParsePlatformString(bwc.FormatPlatform(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Solve(clone) != r1 {
+		t.Fatal("identical platform missed the cache")
+	}
+	st := sess.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Solves != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 2 hits, 1 entry", st)
+	}
+}
+
+// TestSessionScheduleOptionsKeyed: schedules memoize per construction
+// options, so Block and interleaved patterns coexist.
+func TestSessionScheduleOptionsKeyed(t *testing.T) {
+	sess := bwc.NewSession()
+	tr := sessionTree()
+	s1, err := sess.BuildSchedule(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sess.BuildSchedule(tr, bwc.WithScheduleOptions(bwc.ScheduleOptions{Block: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("different schedule options shared one memo entry")
+	}
+	s3, err := sess.BuildSchedule(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s3 {
+		t.Fatal("schedule cache hit returned a different *Schedule")
+	}
+	if st := sess.Stats(); st.Schedules != 2 || st.Solves != 1 {
+		t.Fatalf("stats = %+v, want 2 schedule entries over 1 solve", st)
+	}
+}
+
+// TestSessionConcurrent hammers one Session from many goroutines (run
+// under -race in tier 1): concurrent calls for the same platform must
+// coalesce onto a single solve and all observe the same result.
+func TestSessionConcurrent(t *testing.T) {
+	sess := bwc.NewSession()
+	tr := sessionTree()
+	want := sess.Solve(tr)
+
+	const goroutines = 16
+	results := make([]*bwc.Result, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = sess.Solve(tr)
+			if _, err := sess.BuildSchedule(tr); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%4 == 0 {
+				if _, err := sess.Simulate(tr, bwc.WithPeriods(2), bwc.WithSkipIntervals()); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r != want {
+			t.Fatalf("goroutine %d saw a different result", i)
+		}
+	}
+	if st := sess.Stats(); st.Misses != 2 { // one solve + one schedule
+		t.Fatalf("stats = %+v, want exactly 2 misses", st)
+	}
+}
+
+// TestSessionInvalidate: dropping a platform forces the next call back
+// through the solver.
+func TestSessionInvalidate(t *testing.T) {
+	sess := bwc.NewSession()
+	tr := sessionTree()
+	r1 := sess.Solve(tr)
+	sess.Invalidate(tr)
+	if st := sess.Stats(); st.Solves != 0 {
+		t.Fatalf("stats = %+v after Invalidate, want no entries", st)
+	}
+	if sess.Solve(tr) == r1 {
+		t.Fatal("invalidated entry still served")
+	}
+}
+
+// TestSessionAdaptiveReprimes: an adaptive run that re-negotiated drops
+// the pre-fault platform from the memo and primes the re-solved
+// schedule under the measured platform's fingerprint, so the follow-up
+// solve of the post-fault platform is already a hit.
+func TestSessionAdaptiveReprimes(t *testing.T) {
+	sess := bwc.NewSession()
+	tr := bwc.PaperExampleTree()
+	rep, err := sess.SimulateAdaptive(tr,
+		bwc.WithFaults(bwc.DegradeLink(bwc.RatInt(120), "P1", bwc.RatInt(4))),
+		bwc.WithStop(bwc.RatInt(400)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Adaptations) != 1 {
+		t.Fatalf("%d adaptations, want 1", len(rep.Adaptations))
+	}
+
+	measured := rep.Adaptations[0].Schedule.Tree
+	pre := sess.Stats()
+	if sess.Solve(measured) != rep.Adaptations[0].Schedule.Res {
+		t.Fatal("measured platform not primed with the re-solved result")
+	}
+	if st := sess.Stats(); st.Hits != pre.Hits+1 {
+		t.Fatalf("solve of the measured platform missed (stats %+v -> %+v)", pre, st)
+	}
+
+	// The pre-fault platform was invalidated: solving it again misses.
+	preMisses := sess.Stats().Misses
+	sess.Solve(tr)
+	if st := sess.Stats(); st.Misses != preMisses+1 {
+		t.Fatalf("stale platform still cached (stats %+v)", st)
+	}
+}
+
+// BenchmarkSessionSolveCold measures the full negotiation wave per call
+// (fresh Session each time); BenchmarkSessionSolveCached measures the
+// memo hit. The recorded speedup lives in EXPERIMENTS.md and must stay
+// ≥10×.
+func BenchmarkSessionSolveCold(b *testing.B) {
+	tr := bwc.GeneratePlatform(bwc.Uniform, 64, 11)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bwc.NewSession().Solve(tr)
+	}
+}
+
+func BenchmarkSessionSolveCached(b *testing.B) {
+	tr := bwc.GeneratePlatform(bwc.Uniform, 64, 11)
+	sess := bwc.NewSession()
+	sess.Solve(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Solve(tr)
+	}
+}
