@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt build test vet race bench adapt-demo engine-diff
+.PHONY: tier1 fmt build test vet race bench bench-trajectory bench-baseline adapt-demo engine-diff
 
 tier1: fmt build test vet race
 
@@ -40,6 +40,22 @@ engine-diff:
 # Observability overhead benchmarks (EXPERIMENTS.md records the numbers).
 bench:
 	$(GO) test -bench 'BenchmarkObs' -benchmem -run '^$$' .
+
+# Perf trajectory: run the registered suite (internal/perf/suite) and
+# gate it against the committed baseline. This is what the CI bench-gate
+# job runs; exit code 8 means a metric regressed. BENCHTIME is pinned so
+# every point on the trajectory measures the same way.
+BENCHTIME ?= 1s
+BASELINE  ?= BENCH_PR6.json
+bench-trajectory:
+	$(GO) run ./cmd/bwsched bench -short -benchtime $(BENCHTIME) -compare $(BASELINE)
+
+# Refresh the committed baseline (full suite, with profiles). Run on the
+# machine whose fingerprint the trajectory should carry, then commit the
+# updated $(BASELINE) — refreshing it is a deliberate act, not a test fix.
+bench-baseline:
+	$(GO) run ./cmd/bwsched bench -benchtime $(BENCHTIME) -label $(patsubst BENCH_%.json,%,$(BASELINE)) \
+		-out $(BASELINE) -profile bench-profiles
 
 # The Section 5 adaptation loop end to end: degrade P1's link mid-run,
 # watch the drift fire, the schedule re-negotiate and hot-swap, and the

@@ -10,12 +10,13 @@ import (
 	"testing"
 
 	"bwc"
+	"bwc/internal/benchfix"
 )
 
 // E1 — Figure 2 / Proposition 1: fork-graph reduction. The bottom-up
 // reduction and BW-First agree on fork graphs (trees of height 1).
 func BenchmarkE1ForkReduction(b *testing.B) {
-	tr := bwc.GeneratePlatform(bwc.WideStar, 16, 1)
+	tr := benchfix.Fork16()
 	want := bwc.BottomUp(tr).Throughput
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -96,7 +97,7 @@ func BenchmarkE4Gantt(b *testing.B) {
 // E5 — Section 5: BW-First visits only the nodes used by the optimal
 // schedule; the bottom-up baseline touches all of them.
 func BenchmarkE5VisitedNodes(b *testing.B) {
-	tr := bwc.GeneratePlatform(bwc.BandwidthLimited, 200, 7)
+	tr := benchfix.BandwidthLimited200()
 	var visited, touched int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -109,7 +110,7 @@ func BenchmarkE5VisitedNodes(b *testing.B) {
 
 // E6 — Proposition 2 / optimality: BW-First == bottom-up == exact LP.
 func BenchmarkE6LPCrossCheck(b *testing.B) {
-	tr := bwc.GeneratePlatform(bwc.Uniform, 25, 3)
+	tr := benchfix.Uniform25()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bwc.Verify(tr); err != nil {
@@ -185,7 +186,7 @@ func BenchmarkE9Scalability(b *testing.B) {
 	for _, n := range []int{10, 100, 1000} {
 		// Compute-limited platforms keep every node useful, so the
 		// message count scales with the platform (2 per transaction).
-		tr := bwc.GeneratePlatform(bwc.ComputeLimited, n, 5)
+		tr := benchfix.ComputeLimited(n)
 		b.Run(byN(n), func(b *testing.B) {
 			var res *bwc.DistributedResult
 			for i := 0; i < b.N; i++ {
@@ -211,15 +212,7 @@ func byN(n int) string {
 // E10 — Section 9: the result-return counter-example. Separate flows
 // reach 2 tasks/unit; the folded model predicts 1.
 func BenchmarkE10ResultReturn(b *testing.B) {
-	tr, err := bwc.ParsePlatformString(`
-m  -  -   inf
-w1 m  1/2 1
-w2 m  1/2 1
-`)
-	if err != nil {
-		b.Fatal(err)
-	}
-	p, err := bwc.WithUniformResultReturn(tr, bwc.Rat(1, 2))
+	p, err := benchfix.ResultReturnStar()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -348,13 +341,7 @@ func BenchmarkE14Renegotiation(b *testing.B) {
 // rates to denominators dividing D. On a prime-heavy platform the exact
 // period is 323323; D = 100 caps it at 100 for ~5% throughput loss.
 func BenchmarkE15Quantize(b *testing.B) {
-	tr := bwc.NewBuilder().
-		Root("m", bwc.RatInt(7)).
-		Child("m", "a", bwc.Rat(1, 2), bwc.RatInt(11)).
-		Child("m", "b", bwc.Rat(2, 3), bwc.RatInt(13)).
-		Child("a", "c", bwc.Rat(3, 5), bwc.RatInt(17)).
-		Child("b", "d", bwc.Rat(4, 7), bwc.RatInt(19)).
-		MustBuild()
+	tr := benchfix.PrimeHeavy()
 	res := bwc.Solve(tr)
 	var thr bwc.Rational
 	var s *bwc.Schedule
@@ -377,11 +364,7 @@ func BenchmarkE15Quantize(b *testing.B) {
 // BenchmarkObsEnabled runs the same loop with a live Observer collecting
 // spans, counters and gauges, measuring the full-instrumentation cost.
 func BenchmarkObsDisabled(b *testing.B) {
-	tr := bwc.PaperExampleTree()
-	s, err := bwc.BuildSchedule(bwc.Solve(tr))
-	if err != nil {
-		b.Fatal(err)
-	}
+	s := benchfix.PaperSchedule()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := bwc.Simulate(s, bwc.WithStop(bwc.RatInt(115))); err != nil {
@@ -391,11 +374,7 @@ func BenchmarkObsDisabled(b *testing.B) {
 }
 
 func BenchmarkObsEnabled(b *testing.B) {
-	tr := bwc.PaperExampleTree()
-	s, err := bwc.BuildSchedule(bwc.Solve(tr))
-	if err != nil {
-		b.Fatal(err)
-	}
+	s := benchfix.PaperSchedule()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ob := bwc.NewObserver()

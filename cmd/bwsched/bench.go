@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"time"
+
+	"bwc"
+	"bwc/internal/perf"
+	"bwc/internal/perf/suite"
+)
+
+// cmdBench runs the registered performance suite (internal/perf/suite)
+// and optionally writes the trajectory point, captures pprof profiles,
+// and gates against a committed baseline. A failed gate wraps
+// bwc.ErrPerfRegression, which run() maps to exit code 8.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "", "write the trajectory to this BENCH_<label>.json file")
+	compare := fs.String("compare", "", "baseline trajectory to gate against (e.g. BENCH_PR6.json)")
+	threshold := fs.Float64("threshold", 0.10, "allowed relative ns/op and allocs/op increase")
+	benchtime := fs.Duration("benchtime", 0, "per-bench measurement target (0 = testing default, 1s)")
+	short := fs.Bool("short", false, "run only the short subset (the CI gate's selection)")
+	repeat := fs.Int("repeat", 3, "measure each bench this many times, keep the fastest (noise rejection)")
+	runRe := fs.String("run", "", "run only benches matching this regexp")
+	profile := fs.String("profile", "", "capture <bench>.cpu.pprof and <bench>.heap.pprof into this directory")
+	label := fs.String("label", "", "trajectory label stored in the file (e.g. PR6)")
+	list := fs.Bool("list", false, "print the registered bench names and exit")
+	quiet := fs.Bool("quiet", false, "suppress per-bench progress lines")
+	fs.Parse(args)
+
+	s := suite.Default()
+	if *list {
+		for _, name := range s.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	opt := perf.RunOptions{
+		Label:      *label,
+		Benchtime:  *benchtime,
+		Short:      *short,
+		Repeat:     *repeat,
+		ProfileDir: *profile,
+	}
+	if *runRe != "" {
+		re, err := regexp.Compile(*runRe)
+		if err != nil {
+			return fmt.Errorf("bench: bad -run pattern: %w", err)
+		}
+		opt.Filter = re
+	}
+	if !*quiet {
+		opt.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format, a...) }
+	}
+
+	start := time.Now()
+	tr, err := s.Run(opt)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "suite: %d benches in %v\n", len(tr.Results), time.Since(start).Round(time.Millisecond))
+	}
+	for _, name := range tr.SortedDerivedNames() {
+		fmt.Printf("derived %-28s %.4g\n", name, tr.Derived[name])
+	}
+
+	if *out != "" {
+		if err := tr.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("trajectory: %s\n", *out)
+	}
+	if *profile != "" {
+		fmt.Printf("profiles:   %s\n", *profile)
+	}
+
+	if *compare != "" {
+		base, err := perf.ParseFile(*compare)
+		if err != nil {
+			return err
+		}
+		th := suite.Thresholds()
+		th.NsRel = *threshold
+		th.AllocsRel = *threshold
+		c := perf.Compare(base, tr, th)
+		if err := c.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if !c.Ok() {
+			return fmt.Errorf("bench: %d metric(s) regressed vs %s: %w",
+				c.Regressions, *compare, bwc.ErrPerfRegression)
+		}
+	}
+	return nil
+}

@@ -26,6 +26,9 @@
 //	execute     run a real goroutine-backed deployment
 //	obs         run solver + protocol + simulator under full observability
 //	            and export Chrome trace JSON, Prometheus text, JSONL events
+//	bench       run the registered perf suite; write BENCH_<label>.json
+//	            trajectory points, capture pprof profiles, and gate against
+//	            a committed baseline (exit 8 on regression)
 //	makespan    finite-batch makespan vs the steady-state lower bound
 //	infinite    infinite k-ary tree throughput and truncations
 //	gen         generate a synthetic platform
@@ -102,6 +105,8 @@ func run(args []string) (code int) {
 		err = cmdInfinite(rest)
 	case "obs":
 		err = cmdObs(rest)
+	case "bench":
+		err = cmdBench(rest)
 	case "analyze":
 		err = cmdAnalyze(rest)
 	case "example":
@@ -124,7 +129,8 @@ func run(args []string) (code int) {
 // shell pipelines can branch on the failure class: 4 the input is not a
 // valid platform tree, 5 no feasible steady state, 6 drift detected with
 // adaptation disabled (stale schedule), 7 the adaptation loop could not
-// converge. Everything else stays 1.
+// converge, 8 the benchmark trajectory regressed against its baseline.
+// Everything else stays 1.
 func exitCode(err error) int {
 	switch {
 	case errors.Is(err, bwc.ErrNotATree):
@@ -135,6 +141,8 @@ func exitCode(err error) int {
 		return 6
 	case errors.Is(err, bwc.ErrAdaptTimeout):
 		return 7
+	case errors.Is(err, bwc.ErrPerfRegression):
+		return 8
 	}
 	return 1
 }
@@ -158,6 +166,9 @@ commands:
   makespan   -f platform.txt -n 500 [-demand]
   obs        -f platform.txt [-periods 3] [-metrics -] [-trace-out t.json] [-log-out e.jsonl]
   analyze    -trace e.jsonl [-f platform.txt] [-stop 115] [-json]  conformance verdicts
+  bench      [-out BENCH_X.json] [-compare BENCH_PR6.json] [-profile dir]
+             [-short] [-benchtime 1s] [-run regex] [-label X] [-threshold 0.10]
+             run the perf suite; exit 8 on regression against the baseline
   infinite   -k 2 -w 2 -c 1 [-depth 8]
   gen        -kind uniform -n 30 -seed 1
   dot        -f platform.txt [-used]

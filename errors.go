@@ -31,4 +31,10 @@ var (
 	// re-negotiation wave timed out at the root, or drift persisted after
 	// the allowed number of adaptations.
 	ErrAdaptTimeout = bwcerr.ErrAdaptTimeout
+
+	// ErrPerfRegression reports a benchmark trajectory that failed the
+	// regression gate against its committed baseline (`bwsched bench
+	// -compare`): a gated metric exceeded its threshold or fell outside
+	// its portable floor/ceiling.
+	ErrPerfRegression = bwcerr.ErrPerfRegression
 )

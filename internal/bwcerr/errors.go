@@ -15,7 +15,9 @@
 //	                  matches the platform;
 //	ErrAdaptTimeout   the adaptation loop could not converge: a
 //	                  re-negotiation wave timed out at the root, or drift
-//	                  persisted after the allowed number of adaptations.
+//	                  persisted after the allowed number of adaptations;
+//	ErrPerfRegression the benchmark trajectory regressed against its
+//	                  committed baseline (the perf gate).
 package bwcerr
 
 import "errors"
@@ -31,3 +33,7 @@ var ErrScheduleStale = errors.New("schedule is stale for the measured platform")
 
 // ErrAdaptTimeout reports a non-converging adaptation loop.
 var ErrAdaptTimeout = errors.New("adaptation timed out")
+
+// ErrPerfRegression reports a benchmark trajectory that failed the
+// regression gate against its baseline (internal/perf.Compare).
+var ErrPerfRegression = errors.New("performance regression against baseline")

@@ -159,6 +159,7 @@ type Core struct {
 	clock     Clock
 	transport Transport
 	hooks     Hooks
+	nopHooks  bool // hooks is NopHooks: skip the dispatch entirely
 	rec       *Recorder
 	best      bool
 
@@ -189,6 +190,12 @@ func New(cfg Config) *Core {
 	}
 	if c.hooks == nil {
 		c.hooks = NopHooks{}
+	}
+	// Short-circuit the per-transition hook dispatch when no observer is
+	// attached: a backend (or a bare solver harness) that passes nil or
+	// NopHooks pays nothing on the event hot path.
+	if _, nop := c.hooks.(NopHooks); nop {
+		c.nopHooks = true
 	}
 	c.transport = cfg.Transport
 	if c.transport == nil {
@@ -395,12 +402,16 @@ func (c *Core) kickCompute(ns *node) {
 	tk := ns.computeQ[0]
 	ns.computeQ = ns.computeQ[1:]
 	c.sampleBuffer(ns)
-	c.hooks.ComputeStarted(ns.id, tk, w)
+	if !c.nopHooks {
+		c.hooks.ComputeStarted(ns.id, tk, w)
+	}
 	c.clock.After(w, func() {
 		// The hook runs before the CPU is freed: a backend's user payload
 		// (runtime.Config.Work) is part of the task's service time, so the
 		// next local task must not start under it.
-		c.hooks.ComputeFinished(ns.id, tk)
+		if !c.nopHooks {
+			c.hooks.ComputeFinished(ns.id, tk)
+		}
 		if c.rec != nil {
 			c.rec.compute(ns.id)
 		}
@@ -428,12 +439,16 @@ func (c *Core) kickSend(ns *node) {
 		c.rec.send(ns.id, out.child)
 	}
 	c.sampleBuffer(ns)
-	c.hooks.SendStarted(ns.id, child, out.tk, ct)
+	if !c.nopHooks {
+		c.hooks.SendStarted(ns.id, child, out.tk, ct)
+	}
 	c.clock.After(ct, func() {
 		// Deliver before the port is freed: the next transfer may only
 		// start once the child accepted this task (the wall-clock analogue
 		// of the sender goroutine handing off before its next sleep).
-		c.hooks.SendFinished(ns.id, child, out.tk)
+		if !c.nopHooks {
+			c.hooks.SendFinished(ns.id, child, out.tk)
+		}
 		c.transport.Deliver(child, out.tk)
 		c.mu.Lock()
 		ns.sending = false
@@ -453,7 +468,9 @@ func (c *Core) sampleBuffer(ns *node) {
 	if held > ns.heldMax {
 		ns.heldMax = held
 	}
-	c.hooks.BufferChanged(ns.id, held)
+	if !c.nopHooks {
+		c.hooks.BufferChanged(ns.id, held)
+	}
 }
 
 // SameShape checks two trees share names and parent structure (weights

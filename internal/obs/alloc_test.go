@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"testing"
+
+	"bwc/internal/rat"
+)
+
+// The disabled fast path — every obs entry point on a nil *Scope or nil
+// instrument — must be allocation-free: un-observed simulations pay for
+// these calls on every event, and the <5% overhead budget assumes they
+// compile down to a nil check. testing.AllocsPerRun makes the contract a
+// test instead of a benchmark eyeball.
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(100, fn); n != 0 {
+		t.Errorf("%s: %v allocs/op on the fast path, want 0", name, n)
+	}
+}
+
+func TestNilScopeFastPathDoesNotAllocate(t *testing.T) {
+	var s *Scope
+	assertZeroAllocs(t, "Enabled", func() { s.Enabled() })
+	assertZeroAllocs(t, "StartSpan+EndSpan", func() { s.EndSpan(s.StartSpan("x", "t", 0)) })
+	assertZeroAllocs(t, "AddDeferredSpans", func() { s.AddDeferredSpans(nil) })
+	assertZeroAllocs(t, "Emit", func() { s.Emit("evt") })
+	assertZeroAllocs(t, "Now", func() { s.Now() })
+	assertZeroAllocs(t, "SetClock", func() { s.SetClock(nil) })
+	assertZeroAllocs(t, "SpanCount", func() { _ = s.SpanCount() })
+	assertZeroAllocs(t, "Dropped", func() { _ = s.Dropped() })
+}
+
+func TestNilInstrumentFastPathDoesNotAllocate(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	assertZeroAllocs(t, "Counter.Inc", func() { c.Inc() })
+	assertZeroAllocs(t, "Counter.Add", func() { c.Add(3) })
+	assertZeroAllocs(t, "Counter.Value", func() { _ = c.Value() })
+	assertZeroAllocs(t, "Gauge.Set", func() { g.Set(7) })
+	assertZeroAllocs(t, "Gauge.Add", func() { g.Add(1) })
+	assertZeroAllocs(t, "Gauge.SetMax", func() { g.SetMax(9) })
+	assertZeroAllocs(t, "Histogram.Observe", func() { h.Observe(1.5) })
+	assertZeroAllocs(t, "Histogram.Merge", func() { h.Merge(nil, 0) })
+}
+
+// The enabled atomic paths (counter bumps, gauge stores, histogram
+// observes into existing buckets) must also stay allocation-free: the
+// sub-5% enabled-overhead budget spends its allocations on spans, not on
+// metric updates.
+func TestEnabledMetricFastPathDoesNotAllocate(t *testing.T) {
+	s := New()
+	reg := s.Registry()
+	c := reg.Counter("alloc_test_total", "")
+	g := reg.Gauge("alloc_test_gauge", "")
+	h := reg.Histogram("alloc_test_hist", "", []float64{1, 10, 100})
+	buckets := []int64{1, 2, 0, 3}
+	assertZeroAllocs(t, "Counter.Add", func() { c.Add(2) })
+	assertZeroAllocs(t, "Gauge.Set", func() { g.Set(4) })
+	assertZeroAllocs(t, "Gauge.SetMax", func() { g.SetMax(11) })
+	assertZeroAllocs(t, "Histogram.Observe", func() { h.Observe(42) })
+	assertZeroAllocs(t, "Histogram.Merge", func() { h.Merge(buckets, 12.5) })
+
+	// Registry re-lookup of an existing metric is also on the per-run
+	// initObs path.
+	assertZeroAllocs(t, "Registry.Counter(existing)", func() { reg.Counter("alloc_test_total", "") })
+}
+
+// An enabled scope with a clock set must not allocate on Now: the batch
+// span producer calls it once per DES batch.
+func TestEnabledNowDoesNotAllocate(t *testing.T) {
+	s := New()
+	now := rat.New(3, 2)
+	s.SetClock(func() rat.R { return now })
+	assertZeroAllocs(t, "Now(enabled)", func() { s.Now() })
+}

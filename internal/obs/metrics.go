@@ -100,9 +100,33 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Add(1)
+	h.counts[h.BucketIndex(v)].Add(1)
 	h.count.Add(1)
+	h.addSum(v)
+}
+
+// BucketIndex returns the index of the bucket v falls into (the last,
+// +Inf, bucket when v exceeds every bound). Fixed-bucket histograms are
+// small, so a linear scan beats the binary search's function-call
+// overhead on the hot observation path; large bound sets fall back to
+// the binary search.
+func (h *Histogram) BucketIndex(v float64) int {
+	if h == nil {
+		return 0
+	}
+	if len(h.bounds) <= 16 {
+		i := 0
+		for i < len(h.bounds) && h.bounds[i] < v {
+			i++
+		}
+		return i
+	}
+	return sort.SearchFloat64s(h.bounds, v)
+}
+
+// addSum accumulates v into the float64-bits sum with a CAS loop
+// (uncontended observers pay one CAS).
+func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -110,6 +134,32 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Merge folds a locally pre-aggregated batch of observations into the
+// histogram: counts[i] samples in bucket i (the histogram's own layout,
+// len(Bounds)+1 with the +Inf bucket last; shorter slices merge a
+// prefix), summing to sum. Producers observing in tight loops — the
+// simulator's per-DES-batch sizes — aggregate into a plain []int64 with
+// BucketIndex and merge once per run, replacing three atomic operations
+// per sample with three per bucket per run.
+func (h *Histogram) Merge(counts []int64, sum float64) {
+	if h == nil {
+		return
+	}
+	var n int64
+	for i, c := range counts {
+		if c == 0 || i >= len(h.counts) {
+			continue
+		}
+		h.counts[i].Add(c)
+		n += c
+	}
+	if n == 0 && sum == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.addSum(sum)
 }
 
 // Count returns the number of observations.

@@ -1,0 +1,243 @@
+// Package suite registers the default benchmark suite behind `bwsched
+// bench`: the representative slice of the system the perf trajectory
+// tracks PR over PR. Fixtures come from internal/benchfix so these
+// benches measure exactly the platforms the repo-root experiment
+// benchmarks measure.
+package suite
+
+import (
+	"testing"
+	"time"
+
+	"bwc"
+	"bwc/internal/benchfix"
+	"bwc/internal/des"
+	"bwc/internal/perf"
+	"bwc/internal/rat"
+)
+
+// engineLoopEvents is the number of DES events per EngineLoop iteration;
+// the bench reports it as "events/op" so the derived events-per-second
+// rate can be recomputed from any trajectory file.
+const engineLoopEvents = 4096
+
+// Default builds the registered suite. Benches marked Short form the CI
+// gate's fast subset; the rest only run in a full (local) trajectory.
+func Default() *perf.Suite {
+	s := perf.NewSuite()
+
+	// EngineLoop isolates the discrete-event core: schedule-and-drain of
+	// a staggered event set, exercising the heap and exact-rational time
+	// comparisons with no scheduling logic on top.
+	s.Register(perf.Bench{Name: "EngineLoop", Short: true, Fn: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := &des.Engine{}
+			for j := int64(0); j < engineLoopEvents; j++ {
+				eng.At(rat.New(j, 3), func() {})
+			}
+			if err := eng.Drain(engineLoopEvents); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(engineLoopEvents, "events/op")
+	}})
+
+	// SessionSolveCold / SessionSolveCached bracket the Session memo: the
+	// full negotiation wave versus the cache hit on a 64-node platform.
+	s.Register(perf.Bench{Name: "SessionSolveCold", Short: true, Fn: func(b *testing.B) {
+		tr := benchfix.Uniform64()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bwc.NewSession().Solve(tr)
+		}
+	}})
+	s.Register(perf.Bench{Name: "SessionSolveCached", Short: true, Fn: func(b *testing.B) {
+		tr := benchfix.Uniform64()
+		sess := bwc.NewSession()
+		sess.Solve(tr)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sess.Solve(tr)
+		}
+	}})
+
+	// ObsDisabled / ObsEnabled are the bench_test.go observability pair:
+	// the paper's Figure-5 run with instrumentation off (nil Observer)
+	// and fully on. Their ratio is the telemetry tax.
+	s.Register(perf.Bench{Name: "ObsDisabled", Short: true, Fn: func(b *testing.B) {
+		sched := benchfix.PaperSchedule()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bwc.Simulate(sched, bwc.WithStop(bwc.RatInt(115))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+	s.Register(perf.Bench{Name: "ObsEnabled", Short: true, Fn: func(b *testing.B) {
+		sched := benchfix.PaperSchedule()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ob := bwc.NewObserver()
+			if _, err := bwc.Simulate(sched, bwc.WithStop(bwc.RatInt(115)), bwc.WithObserver(ob)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+
+	// RatArith hammers the int64 fast path of the exact-rational tower —
+	// the arithmetic under every heap comparison in EngineLoop.
+	// ObsOverhead measures the telemetry tax directly: each iteration
+	// runs one un-observed and one observed simulation back to back and
+	// accumulates their times separately. Alternating at sub-millisecond
+	// granularity means host-load drift hits both halves equally, so the
+	// reported overhead-pct is stable on noisy machines where the ratio
+	// of the two independent benches above jitters by several points.
+	s.Register(perf.Bench{Name: "ObsOverhead", Short: true, Fn: func(b *testing.B) {
+		sched := benchfix.PaperSchedule()
+		stop := bwc.WithStop(bwc.RatInt(115))
+		var disabled, enabled time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := bwc.Simulate(sched, stop); err != nil {
+				b.Fatal(err)
+			}
+			t1 := time.Now()
+			ob := bwc.NewObserver()
+			if _, err := bwc.Simulate(sched, stop, bwc.WithObserver(ob)); err != nil {
+				b.Fatal(err)
+			}
+			t2 := time.Now()
+			disabled += t1.Sub(t0)
+			enabled += t2.Sub(t1)
+		}
+		if disabled > 0 {
+			b.ReportMetric(100*float64(enabled-disabled)/float64(disabled), "overhead-pct")
+		}
+	}})
+
+	// The accumulator's denominator stays fixed at 7 (Add with matching
+	// denominators) and the product's operands are constants, so every
+	// iteration exercises Add, Mul and a cross-denominator Cmp without
+	// ever promoting to math/big — the hot shape of heap comparisons.
+	s.Register(perf.Bench{Name: "RatArith", Short: true, Fn: func(b *testing.B) {
+		b.ReportAllocs()
+		acc := rat.New(0, 1)
+		step := rat.New(3, 7)
+		scale := rat.New(5, 11)
+		var prod rat.R
+		for i := 0; i < b.N; i++ {
+			acc = acc.Add(step)
+			prod = step.Mul(scale)
+			if acc.Cmp(prod) == 2 {
+				b.Fatal("unreachable; keeps the results live")
+			}
+		}
+		_ = prod
+	}})
+
+	// DistributedSolve is the E9 protocol-cost point at n=100: one full
+	// bandwidth-centric negotiation wave over a compute-limited platform.
+	s.Register(perf.Bench{Name: "DistributedSolve", Fn: func(b *testing.B) {
+		tr := benchfix.ComputeLimited(100)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var res *bwc.DistributedResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = bwc.SolveDistributed(tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.Messages), "messages")
+	}})
+
+	// Derived metrics: the portable ratios the CI gate bounds regardless
+	// of the machine the baseline was recorded on.
+	s.Derive("engine_events_per_sec", func(r map[string]perf.Result) (float64, bool) {
+		el, ok := r["EngineLoop"]
+		if !ok || el.NsPerOp <= 0 {
+			return 0, false
+		}
+		return el.Metrics["events/op"] / el.NsPerOp * 1e9, true
+	})
+	s.Derive("cached_solve_speedup", func(r map[string]perf.Result) (float64, bool) {
+		cold, ok1 := r["SessionSolveCold"]
+		cached, ok2 := r["SessionSolveCached"]
+		if !ok1 || !ok2 || cached.NsPerOp <= 0 {
+			return 0, false
+		}
+		return cold.NsPerOp / cached.NsPerOp, true
+	})
+	// obs_enabled_overhead_pct comes from the paired ObsOverhead bench,
+	// not from the ObsDisabled/ObsEnabled ratio: two independent samples
+	// of a ~5% difference are noise-dominated, one interleaved sample is
+	// not. The independent pair stays in the trajectory for per-variant
+	// ns/op and allocs/op tracking.
+	s.Derive("obs_enabled_overhead_pct", func(r map[string]perf.Result) (float64, bool) {
+		ov, ok := r["ObsOverhead"]
+		if !ok {
+			return 0, false
+		}
+		pct, ok := ov.Metrics["overhead-pct"]
+		return pct, ok
+	})
+	// obs_extra_allocs_per_run is the deterministic face of the same
+	// tax: how many extra heap allocations one observed Figure-5 run
+	// costs over the un-observed run. Allocation counts do not jitter,
+	// so this is the gate that cannot flake — a telemetry fast-path
+	// regression (per-event metric updates, eager span materialization)
+	// shows up here before it shows up reliably in wall time.
+	s.Derive("obs_extra_allocs_per_run", func(r map[string]perf.Result) (float64, bool) {
+		off, ok1 := r["ObsDisabled"]
+		on, ok2 := r["ObsEnabled"]
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		return float64(on.AllocsPerOp - off.AllocsPerOp), true
+	})
+	return s
+}
+
+// Thresholds is the suite's CI gate: the defaults (10% time on matching
+// hardware, 10%+1 allocations anywhere) plus the portable acceptance
+// bounds this PR records — the Session memo must stay ≥10× and the
+// enabled-telemetry tax bounded. Normalize divides out the host's own
+// speed drift (the median across benches) before gating ns/op, so a
+// shared machine running 25% slower than when the baseline was recorded
+// does not read as eight simultaneous regressions.
+//
+// The telemetry tax is gated twice. The deterministic gate is
+// obs_extra_allocs_per_run <= 120: the enabled path currently costs ~85
+// extra allocations per Figure-5 run, the pre-fast-path regime cost
+// ~150, and allocation counts cannot flake. The wall-time ceiling on
+// obs_enabled_overhead_pct is a loose backstop at 25: the paired
+// measurement reads ~8% on a calm host but inflates past 12% under
+// heavy load, so a tight time ceiling would gate the weather, not the
+// code. The <10% target is judged on the recorded trajectory value.
+func Thresholds() perf.Thresholds {
+	th := perf.DefaultThresholds()
+	th.Min = map[string]float64{"cached_solve_speedup": 10}
+	th.Max = map[string]float64{
+		"obs_enabled_overhead_pct": 25,
+		"obs_extra_allocs_per_run": 120,
+	}
+	th.Normalize = true
+	// The Figure-5 simulation benches are GC-heavy at ~400µs/op; on a
+	// contended host their min-of-K still spikes 20%+ while their twin
+	// bench sits still, so a tight ns gate on them measures the
+	// scheduler, not the code. Their real regression signal is portable:
+	// allocs/op plus the obs_* derived gates above.
+	th.PerBench = map[string]float64{
+		"ObsDisabled": 0.25,
+		"ObsEnabled":  0.25,
+		"ObsOverhead": 0.25,
+	}
+	return th
+}

@@ -188,6 +188,19 @@ func (a R) Inv() R {
 func (a R) Cmp(b R) int {
 	a, b = a.norm(), b.norm()
 	if a.big == nil && b.big == nil {
+		// Equal denominators (the overwhelmingly common case in the DES
+		// event heap, where many events share one instant or one period
+		// grid) compare numerators directly.
+		if a.d == b.d {
+			switch {
+			case a.n < b.n:
+				return -1
+			case a.n > b.n:
+				return 1
+			default:
+				return 0
+			}
+		}
 		// Compare a.n*b.d <=> b.n*a.d without overflow when possible.
 		x, ok1 := mulCheck(a.n, b.d)
 		y, ok2 := mulCheck(b.n, a.d)
@@ -211,8 +224,21 @@ func (a R) Less(b R) bool { return a.Cmp(b) < 0 }
 // LessEq reports whether a <= b.
 func (a R) LessEq(b R) bool { return a.Cmp(b) <= 0 }
 
-// Equal reports whether a == b.
-func (a R) Equal(b R) bool { return a.Cmp(b) == 0 }
+// Equal reports whether a == b. Both representations are canonical —
+// lowest terms with positive denominator on the int64 path, and the big
+// path is only ever used for values that do not fit int64 (fromBigRat
+// demotes eagerly) — so equality is a field comparison, never a
+// cross-multiplication.
+func (a R) Equal(b R) bool {
+	a, b = a.norm(), b.norm()
+	if a.big == nil && b.big == nil {
+		return a.n == b.n && a.d == b.d
+	}
+	if a.big != nil && b.big != nil {
+		return a.big.Cmp(b.big) == 0
+	}
+	return false
+}
 
 // Sign returns -1, 0, or +1 according to the sign of a.
 func (a R) Sign() int {

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/big"
 	"strconv"
+	"sync"
 
 	"bwc/internal/des"
 	"bwc/internal/engine"
@@ -152,6 +153,42 @@ type simulator struct {
 	recvNm    []string // "recv <node>", indexed by sending node
 }
 
+// trackNames is the per-tree cache of the span track and event name
+// strings initObs needs — the "label scratch" of an observed run. Trees
+// are immutable and long-lived (sessions key their memos on them), so
+// deriving the ~5·n strings once per tree instead of once per observed
+// run keeps repeated instrumented simulations off the allocator.
+var trackNames sync.Map // *tree.Tree -> *nameTable
+
+type nameTable struct {
+	trkC, trkS, trkR []string
+	sendNm, recvNm   []string
+}
+
+func namesFor(t *tree.Tree) *nameTable {
+	if nt, ok := trackNames.Load(t); ok {
+		return nt.(*nameTable)
+	}
+	n := t.Len()
+	nt := &nameTable{
+		trkC:   make([]string, n),
+		trkS:   make([]string, n),
+		trkR:   make([]string, n),
+		sendNm: make([]string, n),
+		recvNm: make([]string, n),
+	}
+	for i := 0; i < n; i++ {
+		name := t.Name(tree.NodeID(i))
+		nt.trkC[i] = name + "/C"
+		nt.trkS[i] = name + "/S"
+		nt.trkR[i] = name + "/R"
+		nt.sendNm[i] = "send " + name
+		nt.recvNm[i] = "recv " + name
+	}
+	actual, _ := trackNames.LoadOrStore(t, nt)
+	return actual.(*nameTable)
+}
+
 // initObs registers the simulation's instruments on sc. Gauge families
 // are labeled by node name so the Prometheus export reads like the
 // paper's per-node buffer table (Section 6.3).
@@ -171,11 +208,9 @@ func (sm *simulator) initObs(sc *obs.Scope) {
 	sm.bufG = make([]*obs.Gauge, n)
 	sm.bufMaxG = make([]*obs.Gauge, n)
 	sm.doneNode = make([]*obs.Counter, n)
-	sm.trkC = make([]string, n)
-	sm.trkS = make([]string, n)
-	sm.trkR = make([]string, n)
-	sm.sendNm = make([]string, n)
-	sm.recvNm = make([]string, n)
+	nt := namesFor(sm.t)
+	sm.trkC, sm.trkS, sm.trkR = nt.trkC, nt.trkS, nt.trkR
+	sm.sendNm, sm.recvNm = nt.sendNm, nt.recvNm
 	for i := 0; i < n; i++ {
 		name := sm.t.Name(tree.NodeID(i))
 		sm.bufG[i] = reg.GaugeLabeled("bwc_node_buffer_tasks",
@@ -184,11 +219,6 @@ func (sm *simulator) initObs(sc *obs.Scope) {
 			"peak buffered-task count at the node", "node", name)
 		sm.doneNode[i] = reg.CounterLabeled("bwc_node_tasks_completed_total",
 			"tasks executed by the node", "node", name)
-		sm.trkC[i] = name + "/C"
-		sm.trkS[i] = name + "/S"
-		sm.trkR[i] = name + "/R"
-		sm.sendNm[i] = "send " + name
-		sm.recvNm[i] = "recv " + name
 	}
 }
 
@@ -233,8 +263,10 @@ func (sm *simulator) SendFinished(n, child tree.NodeID, tk engine.Task) {}
 func (sm *simulator) BufferChanged(n tree.NodeID, held int) {
 	sm.tr.AddBufferSample(n, sm.eng.Now(), held)
 	if sm.sc != nil {
+		// Only the live occupancy is published per event (one atomic
+		// store); the peak gauges are set once after the drain from the
+		// trace's watermarks, saving a CAS loop per buffer transition.
 		sm.bufG[n].Set(int64(held))
-		sm.bufMaxG[n].SetMax(int64(held))
 	}
 }
 
@@ -329,6 +361,11 @@ func Simulate(s *sched.Schedule, opt Options) (*Run, error) {
 	sm.tr.End = sm.eng.Now()
 	sm.finishStats()
 	sm.exportIntervalSpans()
+	if sm.sc != nil {
+		for id, peak := range sm.tr.MaxBufferHeld() {
+			sm.bufMaxG[id].Set(int64(peak))
+		}
+	}
 	return &Run{Schedule: s, Trace: sm.tr, Stats: *st, Obs: sm.sc}, nil
 }
 
@@ -360,59 +397,53 @@ func (sm *simulator) exportIntervalSpans() {
 	})
 }
 
-// drainObserved mirrors des.Engine.Drain (same termination guard, same
-// error) but groups events that fire at the same virtual instant into one
-// span on the "des" track. A batch span stretches to the next pending
-// instant so it has visible width in a trace viewer; the final batch is
-// zero-width. Only the observed path pays for this loop — the disabled
-// path stays on eng.Drain untouched.
+// batchRec is the compact per-DES-batch record the observed drain loop
+// accumulates: converting it to a span (strings, attrs) happens lazily in
+// a deferred producer, so the hot loop appends 7 words per batch and
+// touches no locks, no atomics and no format machinery.
+type batchRec struct {
+	start, end rat.R
+	n          uint64
+}
+
+// drainObserved drains the engine through des.DrainBatched, recording one
+// compact record per same-instant batch. A batch span stretches to the
+// next pending instant so it has visible width in a trace viewer; the
+// final batch is zero-width. Metrics are merged in bulk after the drain:
+// the event counter gets one atomic add, and the batch-size histogram one
+// Merge of a locally aggregated bucket array. Only the observed path pays
+// for this loop — the disabled path stays on eng.Drain untouched.
 func (sm *simulator) drainObserved(maxEvents uint64) error {
-	eng := sm.eng
-	start := eng.Processed()
-	// Batch spans are buffered locally and handed to the scope as one
-	// deferred producer, keeping the drain loop free of span-store locking
-	// and the handoff free of copying. attrBuf is a shared backing array so
-	// each span's one-element Attrs slice costs no allocation of its own.
-	batchSpans := make([]obs.Span, 0, 512)
-	attrBuf := make([]obs.Attr, 0, 512)
-	defer sm.sc.AddDeferredSpans(func() []obs.Span { return batchSpans })
-	for {
-		at, ok := eng.NextAt()
-		if !ok {
-			return nil
-		}
-		before := eng.Processed()
-		for {
-			next, pending := eng.NextAt()
-			if !pending || !next.Equal(at) {
-				break
-			}
-			if !eng.Step() {
-				break
-			}
-			if eng.Processed()-start > maxEvents {
-				return fmt.Errorf("des: drain exceeded %d events at t=%s (model not terminating?)", maxEvents, eng.Now())
-			}
-		}
-		batch := eng.Processed() - before
-		if batch == 0 {
-			continue // everything at this instant was cancelled
-		}
-		end := at
-		if next, pending := eng.NextAt(); pending {
-			end = next
-		}
-		attrBuf = append(attrBuf, obs.A("events", smallInt(batch)))
-		batchSpans = append(batchSpans, obs.Span{
-			Name:  "batch",
-			Track: "des",
-			Start: at,
-			End:   end,
-			Attrs: attrBuf[len(attrBuf)-1 : len(attrBuf) : len(attrBuf)],
-		})
-		sm.batchHist.Observe(float64(batch))
-		sm.evCtr.Add(int64(batch))
+	recs := make([]batchRec, 0, 512)
+	err := sm.eng.DrainBatched(maxEvents, func(at, end rat.R, n uint64, more bool) {
+		recs = append(recs, batchRec{start: at, end: end, n: n})
+	})
+	var events int64
+	var sum float64
+	var buckets [8]int64 // batchHist layout: bounds {1,2,4,8,16,32,64} + Inf
+	for _, r := range recs {
+		events += int64(r.n)
+		sum += float64(r.n)
+		buckets[sm.batchHist.BucketIndex(float64(r.n))]++
 	}
+	sm.evCtr.Add(events)
+	sm.batchHist.Merge(buckets[:], sum)
+	sm.sc.AddDeferredSpans(func() []obs.Span {
+		sps := make([]obs.Span, len(recs))
+		attrs := make([]obs.Attr, len(recs))
+		for i, r := range recs {
+			attrs[i] = obs.A("events", smallInt(r.n))
+			sps[i] = obs.Span{
+				Name:  "batch",
+				Track: "des",
+				Start: r.start,
+				End:   r.end,
+				Attrs: attrs[i : i+1 : i+1],
+			}
+		}
+		return sps
+	})
+	return err
 }
 
 // smallIntNames caches the decimal strings for the common small DES batch

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bwc"
+	"bwc/internal/benchfix"
 )
 
 func sessionTree() *bwc.Tree { return bwc.GeneratePlatform(bwc.Uniform, 24, 11) }
@@ -155,7 +156,7 @@ func TestSessionAdaptiveReprimes(t *testing.T) {
 // memo hit. The recorded speedup lives in EXPERIMENTS.md and must stay
 // ≥10×.
 func BenchmarkSessionSolveCold(b *testing.B) {
-	tr := bwc.GeneratePlatform(bwc.Uniform, 64, 11)
+	tr := benchfix.Uniform64()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bwc.NewSession().Solve(tr)
@@ -163,7 +164,7 @@ func BenchmarkSessionSolveCold(b *testing.B) {
 }
 
 func BenchmarkSessionSolveCached(b *testing.B) {
-	tr := bwc.GeneratePlatform(bwc.Uniform, 64, 11)
+	tr := benchfix.Uniform64()
 	sess := bwc.NewSession()
 	sess.Solve(tr)
 	b.ReportAllocs()
