@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt build test vet race bench bench-trajectory bench-baseline adapt-demo engine-diff
+.PHONY: tier1 fmt build test vet race bench bench-trajectory bench-baseline adapt-demo engine-diff churn-smoke
 
 tier1: fmt build test vet race
 
@@ -29,7 +29,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race . ./internal/engine ./internal/proto ./internal/runtime ./internal/adapt ./internal/obs ./internal/obs/analyze
+	$(GO) test -race . ./internal/engine ./internal/proto ./internal/runtime ./internal/adapt ./internal/sim ./internal/obs ./internal/obs/analyze ./cmd/bwsched
 
 # Differential smoke: the virtual-time and wall-clock backends must
 # produce byte-identical per-node event streams through the shared
@@ -63,3 +63,16 @@ bench-baseline:
 adapt-demo:
 	$(GO) run ./cmd/bwsched example | \
 		$(GO) run ./cmd/bwsched adapt -degrade P1=4 -at 120 -stop 400
+
+# Churn smoke: the churn-hardened loop must self-stabilize under the
+# pinned seed (exit 0) and collapse with exit code 9 when crash-heavy
+# churn drives retained throughput below the retention floor. Runs the
+# built binary, not `go run`, which flattens exit codes to 1.
+churn-smoke:
+	$(GO) build -o /tmp/bwsched-churn ./cmd/bwsched
+	/tmp/bwsched-churn example > /tmp/bwsched-churn-platform.txt
+	/tmp/bwsched-churn churn -f /tmp/bwsched-churn-platform.txt \
+		-seed 6 -rate 3 -duration 600
+	code=0; /tmp/bwsched-churn churn -f /tmp/bwsched-churn-platform.txt \
+		-seed 3 -rate 40 -crash-frac 0.9 -duration 600 || code=$$?; \
+		test "$$code" -eq 9

@@ -128,3 +128,41 @@ func ExecuteAdaptive(s *Schedule, opts ...Option) (*AdaptExecReport, error) {
 func DetectDrift(s *Schedule, opts ...Option) error {
 	return adapt.DetectOnly(s, buildCfg(opts).buildAdaptOptions())
 }
+
+// Churn-hardened runtime types.
+type (
+	// ChurnConfig seeds the stochastic fleet-churn generator
+	// (WithChurn); the same seed reproduces a byte-identical fault
+	// script and event log.
+	ChurnConfig = adapt.ChurnConfig
+	// ChurnReport is the outcome of a SimulateChurn run: the adaptive
+	// report plus the fault script, oracle retention comparison,
+	// quarantine list, per-cycle re-solve stats, and the deterministic
+	// event log.
+	ChurnReport = adapt.ChurnReport
+	// ChurnReSolve records the cost of one incremental re-solve cycle.
+	ChurnReSolve = adapt.ReSolveStat
+)
+
+// GenerateChurn compiles cfg into a reproducible churn fault script for
+// t over [0, horizon): join/leave events, bandwidth and compute drift,
+// and a bounded budget of fail-stop crashes, with heavy-tailed
+// inter-arrival gaps thinned by a diurnal intensity envelope.
+func GenerateChurn(t *Tree, horizon Rational, cfg ChurnConfig) []Fault {
+	return adapt.GenerateChurn(t, horizon, cfg)
+}
+
+// SimulateChurn runs the churn-hardened closed loop: generate seeded
+// churn (WithChurn), detect drift, and re-solve incrementally along the
+// affected root-to-leaf spine only — memoized subtree solutions are
+// reused, and only the changed node schedules are hot-swapped through
+// the engine. Flapping nodes are quarantined after repeated
+// perturbations, failed re-solves are retried with seeded backoff
+// jitter, and a run whose retained throughput stays below the retention
+// floor (WithRetentionFloor) after the retry budget returns an error
+// wrapping ErrChurnCollapse. The report compares the retained
+// steady-state throughput against an oracle full re-solve on the final
+// platform.
+func SimulateChurn(s *Schedule, opts ...Option) (*ChurnReport, error) {
+	return adapt.SimulateChurn(s, buildCfg(opts).buildChurnOptions())
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCmdChurnStabilizes pins the positive churn-smoke contract: a
+// seeded run over the paper platform that self-stabilizes prints the
+// re-solve cycles and "stabilized:", and run() exits 0.
+func TestCmdChurnStabilizes(t *testing.T) {
+	f := platformFile(t)
+	var code int
+	out := capture(t, func() error {
+		code = run([]string{"churn", "-f", f, "-seed", "6", "-rate", "3", "-duration", "600"})
+		return nil
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\n%s", code, out)
+	}
+	for _, frag := range []string{"churn:     seed 6", "cycle #1:", "spine", "reused", "stabilized:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestCmdChurnCollapse pins the negative contract: crash-heavy churn
+// that drives retained throughput below the retention floor exits with
+// the dedicated collapse code 9.
+func TestCmdChurnCollapse(t *testing.T) {
+	f := platformFile(t)
+	var code int
+	capture(t, func() error {
+		code = run([]string{"churn", "-f", f, "-seed", "3", "-rate", "40", "-crash-frac", "0.9", "-duration", "600"})
+		return nil
+	})
+	if code != 9 {
+		t.Fatalf("exit code %d, want 9 (ErrChurnCollapse)", code)
+	}
+}
+
+// TestCmdChurnReproducible: the same seed replays a byte-identical
+// report (the determinism half of the churn contract, at CLI level).
+func TestCmdChurnReproducible(t *testing.T) {
+	f := platformFile(t)
+	args := []string{"churn", "-f", f, "-seed", "6", "-rate", "3", "-duration", "600", "-log"}
+	out1 := capture(t, func() error { run(args); return nil })
+	out2 := capture(t, func() error { run(args); return nil })
+	if out1 != out2 {
+		t.Fatalf("same seed produced different output:\n--- first\n%s\n--- second\n%s", out1, out2)
+	}
+}

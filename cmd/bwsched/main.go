@@ -21,6 +21,9 @@
 //	adapt       closed-loop adaptation: inject faults, detect drift,
 //	            re-solve on the measured platform, hot-swap the schedule
 //	            (exit 0 only when the run heals to all-PASS)
+//	churn       churn-hardened loop: seeded stochastic fleet churn,
+//	            incremental spine re-solve, delta hot-swap, flap
+//	            quarantine (exit 9 on retention collapse)
 //	overlay     extract and score tree overlays from a platform graph
 //	upgrade     exact throughput gain per resource speedup
 //	execute     run a real goroutine-backed deployment
@@ -95,6 +98,8 @@ func run(args []string) (code int) {
 		err = cmdDynamic(rest)
 	case "adapt":
 		err = cmdAdapt(rest)
+	case "churn":
+		err = cmdChurn(rest)
 	case "upgrade":
 		err = cmdUpgrade(rest)
 	case "execute":
@@ -129,8 +134,9 @@ func run(args []string) (code int) {
 // shell pipelines can branch on the failure class: 4 the input is not a
 // valid platform tree, 5 no feasible steady state, 6 drift detected with
 // adaptation disabled (stale schedule), 7 the adaptation loop could not
-// converge, 8 the benchmark trajectory regressed against its baseline.
-// Everything else stays 1.
+// converge, 8 the benchmark trajectory regressed against its baseline,
+// 9 sustained churn collapsed retained throughput below the retention
+// floor. Everything else stays 1.
 func exitCode(err error) int {
 	switch {
 	case errors.Is(err, bwc.ErrNotATree):
@@ -143,6 +149,8 @@ func exitCode(err error) int {
 		return 7
 	case errors.Is(err, bwc.ErrPerfRegression):
 		return 8
+	case errors.Is(err, bwc.ErrChurnCollapse):
+		return 9
 	}
 	return 1
 }
@@ -161,6 +169,10 @@ commands:
   adapt      -f platform.txt -degrade P1=4 -at 120 -stop 400 [-fault at:kind:node[:value]]...
              [-random N -seed S] [-threshold 0.85] [-k 2] [-max-adapts 4] [-detect-only]
              closed-loop self-healing: detect drift, re-solve, hot-swap; exit 0 iff healed
+  churn      -f platform.txt -seed 11 -rate 3 -duration 600 [-floor 0.5] [-crash-frac 0.15]
+             [-flap 3] [-retries 3] [-fault at:kind:node[:value]]... [-log] [-json]
+             churn-hardened loop: seeded fleet churn, incremental spine re-solve,
+             delta hot-swap, flap quarantine; exit 9 on retention collapse
   upgrade    -f platform.txt [-speedup 2] [-top 5]
   execute    -f platform.txt -n 100 -scale 2ms [-metrics :8080]
   makespan   -f platform.txt -n 500 [-demand]

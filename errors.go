@@ -37,4 +37,10 @@ var (
 	// -compare`): a gated metric exceeded its threshold or fell outside
 	// its portable floor/ceiling.
 	ErrPerfRegression = bwcerr.ErrPerfRegression
+
+	// ErrChurnCollapse reports the graceful-degradation contract's
+	// terminal state: sustained churn drove retained throughput below the
+	// configured retention floor (WithRetentionFloor) and the re-solve
+	// retry budget is exhausted. The bwsched CLI maps it to exit code 9.
+	ErrChurnCollapse = bwcerr.ErrChurnCollapse
 )

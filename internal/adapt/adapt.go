@@ -270,11 +270,20 @@ func SimulateAdaptive(s *sched.Schedule, opt Options) (*SimReport, error) {
 		active = next
 	}
 
-	// Verification run: extend the horizon so the final regime has
-	// VerifyPeriods full tree periods past its settle time, then split
-	// the evidence at the swap boundaries. The post window starts on the
-	// final schedule's tree-period grid (anchored at the last swap) so
-	// that per-node steady-state expectations are exact integers.
+	if err := verifyAndReport(rep, phases, physics, opt, segStart, s); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// verifyAndReport runs the verification pass shared by the adaptive and
+// churn controllers: extend the horizon so the final regime has
+// VerifyPeriods full tree periods past its settle time, re-simulate the
+// grown timeline, and split the evidence at the swap boundaries. The
+// post window starts on the final schedule's tree-period grid (anchored
+// at the last swap) so that per-node steady-state expectations are
+// exact integers.
+func verifyAndReport(rep *SimReport, phases []sim.Phase, physics []sim.PhysicsChange, opt Options, segStart rat.R, s *sched.Schedule) error {
 	final := phases[len(phases)-1].Schedule
 	verifyStop := opt.Stop
 	var postFrom, onsetW rat.R
@@ -283,7 +292,7 @@ func SimulateAdaptive(s *sched.Schedule, opt Options) (*SimReport, error) {
 		if !tp.IsPos() {
 			var err error
 			if tp, err = opt.windowFor(final); err != nil {
-				return rep, err
+				return err
 			}
 		}
 		k := final.MaxStartupBound().Div(tp).Ceil()
@@ -293,7 +302,7 @@ func SimulateAdaptive(s *sched.Schedule, opt Options) (*SimReport, error) {
 	}
 	run, err := simulateOnce(phases, physics, verifyStop)
 	if err != nil {
-		return rep, err
+		return err
 	}
 	rep.Run = run
 	rep.Stop = verifyStop
@@ -301,7 +310,7 @@ func SimulateAdaptive(s *sched.Schedule, opt Options) (*SimReport, error) {
 	if len(rep.Adaptations) == 0 {
 		rep.Post = analyze.Analyze(ev, analyze.Options{Schedule: s, Stop: verifyStop})
 		rep.Healed = rep.Post.Healthy()
-		return rep, nil
+		return nil
 	}
 	firstSwap := rep.Adaptations[0].SwapAt
 	rep.Pre = analyze.Analyze(analyze.ClipEvidence(ev, rat.Zero, firstSwap),
@@ -309,7 +318,7 @@ func SimulateAdaptive(s *sched.Schedule, opt Options) (*SimReport, error) {
 	rep.Post = analyze.Analyze(analyze.ClipEvidence(ev, postFrom, verifyStop),
 		analyze.Options{Schedule: final, Stop: verifyStop.Sub(postFrom), OnsetWindow: onsetW})
 	rep.Healed = rep.Post.Healthy()
-	return rep, nil
+	return nil
 }
 
 // DetectOnly runs the detection half of the loop without ever adapting:

@@ -1,0 +1,136 @@
+package adapt
+
+import (
+	"testing"
+
+	"bwc/internal/paperexample"
+	"bwc/internal/rat"
+)
+
+// TestTimelineEdgeCases table-drives the timeline compiler's corner
+// cases: same-instant faults on one node compose in script order,
+// same-instant faults on different nodes merge into one physics change,
+// a t=0 fault is a legal from-the-start perturbation, and restores at
+// the instant of a scaling apply after it.
+func TestTimelineEdgeCases(t *testing.T) {
+	tr := paperexample.Tree()
+	p1 := tr.MustLookup("P1")
+	p2 := tr.MustLookup("P2")
+	cases := []struct {
+		name    string
+		faults  []Fault
+		changes int
+		check   func(t *testing.T)
+	}{
+		{
+			name: "same instant, same node: scalings compose cumulatively",
+			faults: []Fault{
+				{At: rat.FromInt(10), Node: "P1", Kind: LinkScale, Value: rat.FromInt(2)},
+				{At: rat.FromInt(10), Node: "P1", Kind: LinkScale, Value: rat.FromInt(3)},
+			},
+			changes: 1,
+		},
+		{
+			name: "same instant, different nodes: one merged change",
+			faults: []Fault{
+				{At: rat.FromInt(10), Node: "P1", Kind: LinkScale, Value: rat.FromInt(2)},
+				{At: rat.FromInt(10), Node: "P2", Kind: LinkScale, Value: rat.FromInt(3)},
+			},
+			changes: 1,
+		},
+		{
+			name: "same instant: a scale then a restore lands restored",
+			faults: []Fault{
+				{At: rat.FromInt(10), Node: "P1", Kind: LinkScale, Value: rat.FromInt(2)},
+				{At: rat.FromInt(10), Node: "P1", Kind: LinkRestore},
+			},
+			changes: 1,
+		},
+		{
+			name: "fault at t=0 perturbs the platform from the start",
+			faults: []Fault{
+				{At: rat.Zero, Node: "P1", Kind: LinkScale, Value: rat.FromInt(2)},
+			},
+			changes: 1,
+		},
+		{
+			name: "t=0 and a later fault stay two distinct changes",
+			faults: []Fault{
+				{At: rat.Zero, Node: "P1", Kind: LinkScale, Value: rat.FromInt(2)},
+				{At: rat.FromInt(5), Node: "P2", Kind: LinkScale, Value: rat.FromInt(3)},
+			},
+			changes: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pcs, err := Timeline(tr, tc.faults, rat.FromInt(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pcs) != tc.changes {
+				t.Fatalf("changes = %d, want %d", len(pcs), tc.changes)
+			}
+			// Re-compiling must reproduce the identical physics list.
+			again, err := Timeline(tr, tc.faults, rat.FromInt(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range pcs {
+				if !pcs[i].At.Equal(again[i].At) || !pcs[i].Tree.Equal(again[i].Tree) {
+					t.Fatalf("recompiled change %d differs", i)
+				}
+			}
+		})
+	}
+
+	// Pin the composed weights of the corner cases.
+	pcs, err := Timeline(tr, cases[0].faults, rat.FromInt(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pcs[0].Tree.CommTime(p1), tr.CommTime(p1).Mul(rat.FromInt(6)); !got.Equal(want) {
+		t.Fatalf("composed scale: got %s want %s", got, want)
+	}
+	pcs, err = Timeline(tr, cases[1].faults, rat.FromInt(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pcs[0].Tree.CommTime(p2), tr.CommTime(p2).Mul(rat.FromInt(3)); !got.Equal(want) {
+		t.Fatalf("merged change lost P2's scale: got %s want %s", got, want)
+	}
+	pcs, err = Timeline(tr, cases[2].faults, rat.FromInt(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pcs[0].Tree.CommTime(p1); !got.Equal(tr.CommTime(p1)) {
+		t.Fatalf("scale-then-restore at one instant left c=%s, want baseline %s", got, tr.CommTime(p1))
+	}
+	pcs, err = Timeline(tr, cases[3].faults, rat.FromInt(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pcs[0].At.Equal(rat.Zero) {
+		t.Fatalf("t=0 change scheduled at %s", pcs[0].At)
+	}
+}
+
+// TestSimulateAdaptiveFaultAtZero: a platform degraded from the very
+// first instant is detected and adapted around, not mis-handled as a
+// pre-run condition.
+func TestSimulateAdaptiveFaultAtZero(t *testing.T) {
+	s := mustSchedule(t, paperexample.Tree())
+	rep, err := SimulateAdaptive(s, Options{
+		Faults: []Fault{{At: rat.Zero, Node: "P1", Kind: LinkSet, Value: rat.FromInt(4)}},
+		Stop:   rat.FromInt(400),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Adaptations) == 0 {
+		t.Fatal("t=0 degradation went undetected")
+	}
+	if !rep.Healed {
+		t.Fatal("t=0 degradation not healed")
+	}
+}

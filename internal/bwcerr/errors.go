@@ -17,7 +17,11 @@
 //	                  re-negotiation wave timed out at the root, or drift
 //	                  persisted after the allowed number of adaptations;
 //	ErrPerfRegression the benchmark trajectory regressed against its
-//	                  committed baseline (the perf gate).
+//	                  committed baseline (the perf gate);
+//	ErrChurnCollapse  sustained churn drove retained throughput below the
+//	                  configured floor and the re-solve retry budget is
+//	                  exhausted — the graceful-degradation contract's
+//	                  terminal state, raised instead of thrashing forever.
 package bwcerr
 
 import "errors"
@@ -37,3 +41,7 @@ var ErrAdaptTimeout = errors.New("adaptation timed out")
 // ErrPerfRegression reports a benchmark trajectory that failed the
 // regression gate against its baseline (internal/perf.Compare).
 var ErrPerfRegression = errors.New("performance regression against baseline")
+
+// ErrChurnCollapse reports that churn degraded the platform past the
+// configured retention floor and retries could not recover it.
+var ErrChurnCollapse = errors.New("churn collapsed throughput below the retention floor")

@@ -82,6 +82,14 @@ type Result struct {
 	// pruned without changing the throughput).
 	VisitedCount int
 
+	// pruned marks the nodes excluded from the negotiation (SolvePruned /
+	// SolveIncremental); nil for plain Solve results. recomputed and
+	// reused split an incremental solve's nodes into live-visited and
+	// copied-from-previous (see Recomputed / Reused).
+	pruned     []bool
+	recomputed int
+	reused     int
+
 	// sc and txCtr carry the (possibly disabled) instrumentation of
 	// SolveObserved through the recursion.
 	sc    *obs.Scope

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"bwc/internal/sched"
+	"bwc/internal/tree"
+)
+
+// Delta hot-swap: an incremental re-solve (bwfirst.SolveIncremental)
+// changes only the nodes on the affected spine, so re-pointing every
+// node's pattern and zeroing every cursor — what Install does — throws
+// away Ψ-bunch positions that are still valid. InstallDelta preserves
+// them: untouched nodes keep consuming exactly where they were, so a
+// churn swap disturbs only the part of the platform the churn touched.
+
+// ChangedNodes compares two same-shaped schedules and returns the nodes
+// whose deployed behavior differs: activity flipped, or the allocation
+// pattern is not slot-for-slot identical. The result is the `changed`
+// argument InstallDelta and the delta swap seams expect; nil means the
+// schedules deploy identically.
+func ChangedNodes(old, new *sched.Schedule) []tree.NodeID {
+	var out []tree.NodeID
+	for i := range new.Nodes {
+		if !samePattern(&old.Nodes[i], &new.Nodes[i]) {
+			out = append(out, tree.NodeID(i))
+		}
+	}
+	return out
+}
+
+func samePattern(a, b *sched.NodeSchedule) bool {
+	if a.Active != b.Active || len(a.Pattern) != len(b.Pattern) {
+		return false
+	}
+	for i := range a.Pattern {
+		if a.Pattern[i].Dest != b.Pattern[i].Dest {
+			return false
+		}
+	}
+	return true
+}
+
+// InstallDelta is Install restricted to a known delta: every node is
+// re-pointed at the new schedule's pattern slices, but only the changed
+// nodes get their bunch cursor reset — an unchanged node's pattern is
+// slot-for-slot identical, so its cursor position remains meaningful
+// and its Ψ-bunch phase survives the swap. Callers must pass the true
+// delta (ChangedNodes); a node whose pattern shrank but is not listed
+// is reset defensively rather than indexed out of range. An empty
+// changed list resets nothing — use Install to force a full reset.
+func (c *Core) InstallDelta(s *sched.Schedule, changed []tree.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cur.Store(s)
+	reset := make([]bool, len(c.nodes))
+	for _, id := range changed {
+		reset[id] = true
+	}
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		n.pattern = s.Nodes[i].Pattern
+		if reset[i] || n.cursor >= len(n.pattern) {
+			n.cursor = 0
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package analyze
+
+import (
+	"fmt"
+
+	"bwc/internal/rat"
+)
+
+// AddCheck appends an externally computed check to the report and
+// updates the tallies — the seam through which controllers (the churn
+// loop's retention verdict) fold their own evidence into the standard
+// conformance report.
+func (r *HealthReport) AddCheck(c Check) { r.add(c) }
+
+// ChurnRetention builds the churn-retention verdict: how much of the
+// oracle throughput — a full re-solve on the final measured platform
+// with only the truly dead nodes pruned — the churn controller's
+// incremental path actually retained in steady state. The check fails
+// when the retained fraction drops below floor; it is skipped when the
+// oracle itself is non-positive (a platform churn has destroyed outright
+// cannot be retained against).
+func ChurnRetention(retained, oracle rat.R, floor float64) Check {
+	c := Check{Name: "churn-retention"}
+	if !oracle.IsPos() {
+		c.Verdict = Skip
+		c.Detail = fmt.Sprintf("oracle throughput %s is not positive; retention undefined", oracle)
+		return c
+	}
+	ratio := retained.Div(oracle).Float64()
+	c.Detail = fmt.Sprintf("retained %s of oracle %s (%.1f%%, floor %.0f%%)",
+		retained, oracle, 100*ratio, 100*floor)
+	c.Evidence = []string{
+		fmt.Sprintf("retained steady-state throughput: %s", retained),
+		fmt.Sprintf("oracle full re-solve throughput:  %s", oracle),
+	}
+	if ratio >= floor {
+		c.Verdict = Pass
+	} else {
+		c.Verdict = Fail
+	}
+	return c
+}

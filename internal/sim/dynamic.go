@@ -28,6 +28,12 @@ import (
 type Phase struct {
 	At       rat.R
 	Schedule *sched.Schedule
+	// Changed, when non-nil, activates the phase through the engine's
+	// delta seam (Core.InstallDelta): only the listed nodes get their
+	// pattern cursor reset, every other node keeps its Ψ-bunch position.
+	// Pass engine.ChangedNodes(prev, next) — the churn controller's
+	// spine-only swap. nil keeps the historical full-reset semantics.
+	Changed []tree.NodeID
 }
 
 // PhysicsChange swaps the physical platform (weights only; same topology)
@@ -159,7 +165,11 @@ func SimulateDynamic(opt DynOptions) (*DynRun, error) {
 		}
 		s := p.Schedule
 		if i > 0 {
-			sm.eng.At(p.At, func() { sm.core.Install(s) })
+			if changed := p.Changed; changed != nil {
+				sm.eng.At(p.At, func() { sm.core.InstallDelta(s, changed) })
+			} else {
+				sm.eng.At(p.At, func() { sm.core.Install(s) })
+			}
 		}
 		if rs := &s.Nodes[s.Tree.Root()]; rs.Active && len(rs.Pattern) > 0 {
 			sm.genPhase(engine.NewPacer(s, false), p.At, until, 0)

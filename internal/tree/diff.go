@@ -1,0 +1,45 @@
+package tree
+
+import "fmt"
+
+// DiffWeights compares two same-shaped trees and returns the IDs of the
+// nodes whose own weights differ: a changed processing time w, or a
+// changed incoming communication time c. The result is the "dirty set"
+// an incremental re-solve starts from — a platform delta is fully
+// described by which nodes it touched, because every other quantity
+// BW-First reads is structural and shape-identical trees share it.
+//
+// It returns an error when the trees do not share names, parent
+// structure and switch flags (a topology change is not a weight delta;
+// re-solve from scratch instead).
+func DiffWeights(a, b *Tree) ([]NodeID, error) {
+	if a.Len() != b.Len() {
+		return nil, fmt.Errorf("tree: diff: %d vs %d nodes", a.Len(), b.Len())
+	}
+	var dirty []NodeID
+	for id := 0; id < a.Len(); id++ {
+		n := NodeID(id)
+		if a.Name(n) != b.Name(n) {
+			return nil, fmt.Errorf("tree: diff: node %d renamed %q -> %q", id, a.Name(n), b.Name(n))
+		}
+		if a.Parent(n) != b.Parent(n) {
+			return nil, fmt.Errorf("tree: diff: node %q re-parented", a.Name(n))
+		}
+		if a.IsSwitch(n) != b.IsSwitch(n) {
+			return nil, fmt.Errorf("tree: diff: node %q changed between switch and computing node", a.Name(n))
+		}
+		changed := false
+		if !a.IsSwitch(n) {
+			wa, _ := a.ProcTime(n)
+			wb, _ := b.ProcTime(n)
+			changed = !wa.Equal(wb)
+		}
+		if !changed && a.Parent(n) != None && !a.CommTime(n).Equal(b.CommTime(n)) {
+			changed = true
+		}
+		if changed {
+			dirty = append(dirty, n)
+		}
+	}
+	return dirty, nil
+}

@@ -1,0 +1,93 @@
+package tree
+
+import (
+	"testing"
+
+	"bwc/internal/rat"
+)
+
+func diffFixture(t *testing.T) *Tree {
+	t.Helper()
+	return NewBuilder().
+		Root("P0", rat.FromInt(3)).
+		Child("P0", "P1", rat.One, rat.FromInt(2)).
+		SwitchChild("P0", "S", rat.FromInt(2)).
+		Child("S", "P2", rat.One, rat.FromInt(4)).
+		MustBuild()
+}
+
+func TestDiffWeights(t *testing.T) {
+	base := diffFixture(t)
+
+	if d, err := DiffWeights(base, base); err != nil || len(d) != 0 {
+		t.Fatalf("self-diff: %v, %v", d, err)
+	}
+
+	p1 := base.MustLookup("P1")
+	slow, err := base.WithCommTime(p1, rat.FromInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiffWeights(base, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || d[0] != p1 {
+		t.Fatalf("comm diff = %v, want [%d]", d, p1)
+	}
+
+	p2 := base.MustLookup("P2")
+	both, err := slow.WithProcTime(p2, rat.FromInt(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = DiffWeights(base, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || d[0] != p1 || d[1] != p2 {
+		t.Fatalf("two-node diff = %v, want [%d %d]", d, p1, p2)
+	}
+
+	// A node that changes both weights is reported once.
+	twice, err := both.WithCommTime(p2, rat.FromInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = DiffWeights(base, twice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 {
+		t.Fatalf("double-changed node reported twice: %v", d)
+	}
+}
+
+func TestDiffWeightsShapeMismatch(t *testing.T) {
+	base := diffFixture(t)
+	other := NewBuilder().
+		Root("P0", rat.FromInt(3)).
+		Child("P0", "P1", rat.One, rat.FromInt(2)).
+		MustBuild()
+	if _, err := DiffWeights(base, other); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	renamed := NewBuilder().
+		Root("P0", rat.FromInt(3)).
+		Child("P0", "PX", rat.One, rat.FromInt(2)).
+		SwitchChild("P0", "S", rat.FromInt(2)).
+		Child("S", "P2", rat.One, rat.FromInt(4)).
+		MustBuild()
+	if _, err := DiffWeights(base, renamed); err == nil {
+		t.Fatal("rename accepted")
+	}
+	switched := NewBuilder().
+		Root("P0", rat.FromInt(3)).
+		Child("P0", "P1", rat.One, rat.FromInt(2)).
+		Child("P0", "S", rat.FromInt(2), rat.One). // was a switch
+		Child("S", "P2", rat.One, rat.FromInt(4)).
+		MustBuild()
+	if _, err := DiffWeights(base, switched); err == nil {
+		t.Fatal("switch/computing flip accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package treegen
+
+// Distributions for the churn engine (internal/adapt): volunteer-
+// computing fleets do not fail on a Poisson clock. Measured traces of
+// SETI@home-style platforms show heavy-tailed availability intervals —
+// many short flaps, a few very long outages — modulated by a diurnal
+// cycle (home machines leave in the morning, return at night). The
+// churn generator composes the two: Pareto-distributed inter-arrival
+// gaps thinned by a sinusoidal intensity, quantized onto a rational
+// grid so the resulting fault instants stay exact and the simulation
+// deterministic.
+
+import (
+	"math"
+	"math/rand"
+
+	"bwc/internal/rat"
+)
+
+// Pareto draws a Pareto(shape)-distributed multiplier >= 1 using the
+// inverse-CDF transform. Smaller shapes mean heavier tails; shape <= 0
+// is clamped to 1 (a very heavy tail, mean infinite).
+func Pareto(r *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		shape = 1
+	}
+	// 1 - Float64() is in (0, 1], so the sample is finite.
+	return math.Pow(1-r.Float64(), -1/shape)
+}
+
+// DiurnalIntensity returns the relative churn intensity at phase
+// x ∈ [0, 1) of one day-cycle: a raised cosine between trough and 1,
+// peaking at mid-cycle. trough is clamped into (0, 1] so the process
+// never stops entirely.
+func DiurnalIntensity(x, trough float64) float64 {
+	if trough <= 0 || trough > 1 {
+		trough = 0.15
+	}
+	x -= math.Floor(x)
+	return trough + (1-trough)*0.5*(1-math.Cos(2*math.Pi*x))
+}
+
+// QuantizeUp rounds x up to the next multiple of 1/grid, returning an
+// exact rational. The churn engine quantizes every sampled instant and
+// duration so fault times are exact (same-seed runs replay bit-for-bit)
+// and never collide with period boundaries by float noise.
+func QuantizeUp(x float64, grid int64) rat.R {
+	if grid <= 0 {
+		grid = 1
+	}
+	n := int64(math.Ceil(x * float64(grid)))
+	if n < 0 {
+		n = 0
+	}
+	return rat.New(n, grid)
+}

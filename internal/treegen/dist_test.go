@@ -1,0 +1,88 @@
+package treegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwc/internal/rat"
+)
+
+func TestParetoHeavyTail(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	big := 0
+	for i := 0; i < 2000; i++ {
+		x := Pareto(r, 1.5)
+		if x < 1 {
+			t.Fatalf("sample %g below the scale minimum", x)
+		}
+		if x > 5 {
+			big++
+		}
+	}
+	// Pareto(1.5) has P(X > 5) ≈ 0.089; an exponential with the same
+	// mean would be ≈ 0.0015. The generous band just pins the tail.
+	if big < 50 || big > 600 {
+		t.Fatalf("tail mass %d/2000 outside the heavy-tailed band", big)
+	}
+	// Degenerate shape is clamped, not NaN.
+	if x := Pareto(r, 0); x < 1 {
+		t.Fatalf("clamped shape produced %g", x)
+	}
+}
+
+func TestParetoDeterministic(t *testing.T) {
+	a, b := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		if Pareto(a, 2) != Pareto(b, 2) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDiurnalIntensity(t *testing.T) {
+	for _, x := range []float64{0, 0.1, 0.25, 0.5, 0.77, 0.999, 1.5, -0.25} {
+		v := DiurnalIntensity(x, 0.2)
+		if v < 0.2 || v > 1 {
+			t.Fatalf("intensity(%g) = %g outside [0.2, 1]", x, v)
+		}
+	}
+	if v := DiurnalIntensity(0.5, 0.2); v != 1 {
+		t.Fatalf("mid-cycle peak = %g, want 1", v)
+	}
+	if v := DiurnalIntensity(0, 0.2); v != 0.2 {
+		t.Fatalf("trough = %g, want 0.2", v)
+	}
+	// Out-of-range trough falls back to the default.
+	if v := DiurnalIntensity(0, -1); v <= 0 || v > 1 {
+		t.Fatalf("fallback trough = %g", v)
+	}
+	// Periodicity: one full cycle later, same intensity.
+	if DiurnalIntensity(0.3, 0.2) != DiurnalIntensity(1.3, 0.2) {
+		t.Fatal("not periodic")
+	}
+}
+
+func TestQuantizeUp(t *testing.T) {
+	cases := []struct {
+		x    float64
+		grid int64
+		want rat.R
+	}{
+		{0, 32, rat.Zero},
+		{1, 32, rat.One},
+		{0.01, 32, rat.New(1, 32)},
+		{1.0 / 32, 32, rat.New(1, 32)},
+		{5.27, 4, rat.New(22, 4)},
+		{-3, 8, rat.Zero},        // clamped at zero
+		{2.5, 0, rat.FromInt(3)}, // degenerate grid falls back to integers
+	}
+	for _, c := range cases {
+		got := QuantizeUp(c.x, c.grid)
+		if !got.Equal(c.want) {
+			t.Fatalf("QuantizeUp(%g, %d) = %s, want %s", c.x, c.grid, got, c.want)
+		}
+		if got.Float64() < c.x && c.x >= 0 {
+			t.Fatalf("QuantizeUp(%g, %d) rounded down", c.x, c.grid)
+		}
+	}
+}

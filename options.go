@@ -3,6 +3,7 @@ package bwc
 import (
 	"time"
 
+	"bwc/internal/adapt"
 	"bwc/internal/proto"
 )
 
@@ -65,6 +66,14 @@ type callCfg struct {
 	adaptOptions AdaptOptions
 	faults       []Fault
 	detectOnly   bool
+
+	// Churn-hardened runtime (SimulateChurn).
+	churn          ChurnConfig
+	retentionFloor float64
+	flapThreshold  int
+	flapWindow     Rational
+	resolveRetries int
+	retryBackoff   Rational
 }
 
 func buildCfg(opts []Option) callCfg {
@@ -245,6 +254,42 @@ func WithAdaptOptions(o AdaptOptions) Option {
 	return func(c *callCfg) { c.adaptOptions = o }
 }
 
+// WithChurn seeds the stochastic churn generator of SimulateChurn: the
+// seed fully determines the fault script (and the run's event log) for
+// a given platform and horizon.
+func WithChurn(cfg ChurnConfig) Option {
+	return func(c *callCfg) { c.churn = cfg }
+}
+
+// WithRetentionFloor sets the graceful-degradation contract's hard
+// floor for SimulateChurn: a re-solve whose throughput falls below this
+// fraction of the baseline is retried with backoff, and an exhausted
+// retry budget collapses the run with ErrChurnCollapse (default 0.5).
+func WithRetentionFloor(f float64) Option {
+	return func(c *callCfg) { c.retentionFloor = f }
+}
+
+// WithFlapQuarantine quarantines a node perturbed in threshold re-solve
+// cycles within window: its subtree is pruned from subsequent schedules
+// instead of being chased (defaults: 3 cycles within a quarter of the
+// horizon).
+func WithFlapQuarantine(threshold int, window Rational) Option {
+	return func(c *callCfg) {
+		c.flapThreshold = threshold
+		c.flapWindow = window
+	}
+}
+
+// WithResolveRetries bounds how many consecutive failed churn re-solves
+// are retried, each backing off exponentially from the given base (zero
+// base uses the detection window), before the run collapses.
+func WithResolveRetries(n int, backoff Rational) Option {
+	return func(c *callCfg) {
+		c.resolveRetries = n
+		c.retryBackoff = backoff
+	}
+}
+
 // materializers
 
 func (c callCfg) buildSimOptions() SimOptions {
@@ -295,6 +340,18 @@ func (c callCfg) buildAnalyzeOptions() AnalyzeOptions {
 		o.Stop = c.stop
 	}
 	return o
+}
+
+func (c callCfg) buildChurnOptions() adapt.ChurnOptions {
+	return adapt.ChurnOptions{
+		Options:        c.buildAdaptOptions(),
+		Churn:          c.churn,
+		RetentionFloor: c.retentionFloor,
+		ResolveRetries: c.resolveRetries,
+		RetryBackoff:   c.retryBackoff,
+		FlapThreshold:  c.flapThreshold,
+		FlapWindow:     c.flapWindow,
+	}
 }
 
 func (c callCfg) buildAdaptOptions() AdaptOptions {

@@ -17,8 +17,10 @@ import (
 	"sync"
 
 	"bwc/internal/adapt"
+	"bwc/internal/bwfirst"
 	"bwc/internal/runtime"
 	"bwc/internal/sim"
+	"bwc/internal/tree"
 	"bwc/internal/treeio"
 )
 
@@ -219,6 +221,22 @@ func (se *Session) SimulateAdaptive(t *Tree, opts ...Option) (*AdaptReport, erro
 	return rep, rerr
 }
 
+// SimulateChurn runs the churn-hardened closed loop (SimulateChurn) on
+// t's memoized schedule. Like SimulateAdaptive, every re-solved
+// schedule primes the memo under its measured platform's fingerprint,
+// so post-churn platforms are already cache hits.
+func (se *Session) SimulateChurn(t *Tree, opts ...Option) (*ChurnReport, error) {
+	s, err := se.BuildSchedule(t, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rep, rerr := adapt.SimulateChurn(s, buildCfg(se.options(opts)).buildChurnOptions())
+	if rep != nil {
+		se.reprime(t, adaptedSchedules(rep.Adaptations), opts)
+	}
+	return rep, rerr
+}
+
 // ExecuteAdaptive is SimulateAdaptive on the real-time backend
 // (WithTasks, WithScale): the batch runs to completion, and any
 // re-negotiations invalidate and re-prime the memo the same way.
@@ -252,14 +270,18 @@ func adaptedSchedules(ads []Adaptation) []*Schedule {
 
 // reprime drops the pre-fault platform's entries and installs the
 // re-solved schedules under their measured platforms' fingerprints.
+// The drop and the re-prime happen in one critical section: a
+// concurrent Invalidate either sees the stale entries or the fully
+// re-primed memo, never a half-installed mixture.
 func (se *Session) reprime(t *Tree, resolved []*Schedule, opts []Option) {
 	if len(resolved) == 0 {
 		return
 	}
-	se.Invalidate(t)
+	fp := se.fingerprint(t)
 	opt := buildCfg(se.options(opts)).buildAdaptOptions().Sched
 	se.mu.Lock()
 	defer se.mu.Unlock()
+	se.invalidateLocked(fp)
 	for _, s := range resolved {
 		fp := PlatformFingerprint(s.Tree)
 		ve := &solveEntry{res: s.Res}
@@ -273,17 +295,62 @@ func (se *Session) reprime(t *Tree, resolved []*Schedule, opts []Option) {
 
 // Invalidate drops every memo entry for t's fingerprint (all schedule
 // options). Use it when the platform was re-measured outside the
-// Session's own adaptive entry points.
+// Session's own adaptive entry points. Concurrent calls — including a
+// double-invalidation of the same platform racing a reprime — are safe:
+// each runs as one atomic critical section.
 func (se *Session) Invalidate(t *Tree) {
 	fp := se.fingerprint(t)
 	se.mu.Lock()
 	defer se.mu.Unlock()
+	se.invalidateLocked(fp)
+}
+
+// invalidateLocked drops fp's entries; the caller holds se.mu.
+func (se *Session) invalidateLocked(fp string) {
 	delete(se.solves, fp)
 	for k := range se.scheds {
 		if k.fp == fp {
 			delete(se.scheds, k)
 		}
 	}
+}
+
+// InvalidateDelta is the delta-aware Invalidate: it drops the stale
+// platform's entries like Invalidate, but instead of leaving the memo
+// cold it re-primes the mutated platform's solve entry with an
+// incremental re-solve along the affected spine, reusing the stale
+// result's unaffected subtree solutions. It returns the re-solved
+// result, or nil when nothing could be carried over (the old platform
+// was not cached, or the trees do not share a shape) — in that case it
+// degrades to a plain Invalidate and the next Solve runs cold.
+func (se *Session) InvalidateDelta(old, mutated *Tree) *Result {
+	oldFP := se.fingerprint(old)
+	newFP := se.fingerprint(mutated)
+	dirty, derr := tree.DiffWeights(old, mutated)
+	se.mu.Lock()
+	e, ok := se.solves[oldFP]
+	se.invalidateLocked(oldFP)
+	se.mu.Unlock()
+	var prev *Result
+	if ok {
+		// The entry may still be mid-solve in another goroutine; once.Do
+		// waits for it so reading res is ordered after the write.
+		e.once.Do(func() {})
+		prev = e.res
+	}
+	if derr != nil || prev == nil {
+		return nil
+	}
+	res, err := bwfirst.SolveIncremental(prev, mutated, dirty, nil)
+	if err != nil {
+		return nil
+	}
+	se.mu.Lock()
+	ve := &solveEntry{res: res}
+	ve.once.Do(func() {})
+	se.solves[newFP] = ve
+	se.mu.Unlock()
+	return res
 }
 
 // Reset drops every memo entry and zeroes the hit/miss counters.

@@ -116,6 +116,89 @@ func TestSessionInvalidate(t *testing.T) {
 	}
 }
 
+// TestSessionInvalidateRace pins satellite safety under -race: many
+// goroutines solving, invalidating (double-invalidating the same
+// platform), and delta-invalidating one Session concurrently must
+// neither race nor corrupt the memo — afterwards a fresh Solve still
+// returns a correct, cacheable result.
+func TestSessionInvalidateRace(t *testing.T) {
+	sess := bwc.NewSession()
+	tr := sessionTree()
+	mutated, err := tr.WithCommTime(tr.MustLookup("N3"), bwc.RatInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bwc.Solve(tr).Throughput
+
+	const goroutines = 24
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				switch (i + j) % 4 {
+				case 0:
+					if r := sess.Solve(tr); !r.Throughput.Equal(want) {
+						t.Error("corrupted memo entry")
+						return
+					}
+				case 1:
+					sess.Invalidate(tr)
+				case 2:
+					sess.Invalidate(tr) // double-invalidation of the same platform
+					sess.Invalidate(mutated)
+				case 3:
+					sess.InvalidateDelta(tr, mutated)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r := sess.Solve(tr); !r.Throughput.Equal(want) {
+		t.Fatal("memo inconsistent after concurrent invalidation")
+	}
+}
+
+// TestSessionInvalidateDelta: the delta-aware Invalidate drops the old
+// platform and primes the mutated one with an incremental re-solve that
+// matches a cold full solve exactly.
+func TestSessionInvalidateDelta(t *testing.T) {
+	sess := bwc.NewSession()
+	tr := sessionTree()
+	sess.Solve(tr)
+	mutated, err := tr.WithCommTime(tr.MustLookup("N3"), bwc.RatInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sess.InvalidateDelta(tr, mutated)
+	if res == nil {
+		t.Fatal("InvalidateDelta returned nil despite a cached old platform")
+	}
+	if !res.Throughput.Equal(bwc.Solve(mutated).Throughput) {
+		t.Fatalf("incremental re-prime throughput %s != full solve", res.Throughput)
+	}
+	// The mutated platform is already primed...
+	pre := sess.Stats()
+	if sess.Solve(mutated) != res {
+		t.Fatal("mutated platform not primed with the incremental result")
+	}
+	if st := sess.Stats(); st.Hits != pre.Hits+1 {
+		t.Fatalf("solve of the mutated platform missed (stats %+v -> %+v)", pre, st)
+	}
+	// ...and the old one was invalidated.
+	preMisses := sess.Stats().Misses
+	sess.Solve(tr)
+	if st := sess.Stats(); st.Misses != preMisses+1 {
+		t.Fatalf("stale platform still cached (stats %+v)", st)
+	}
+	// With no cached old platform, it degrades to a plain Invalidate.
+	sess.Reset()
+	if sess.InvalidateDelta(tr, mutated) != nil {
+		t.Fatal("InvalidateDelta fabricated a result from a cold memo")
+	}
+}
+
 // TestSessionAdaptiveReprimes: an adaptive run that re-negotiated drops
 // the pre-fault platform from the memo and primes the re-solved
 // schedule under the measured platform's fingerprint, so the follow-up
