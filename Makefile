@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt build test vet race bench bench-trajectory bench-baseline adapt-demo engine-diff churn-smoke
+.PHONY: tier1 fmt build test vet race bench bench-trajectory bench-baseline adapt-demo engine-diff churn-smoke serve-smoke
 
 tier1: fmt build test vet race
 
@@ -29,7 +29,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race . ./internal/engine ./internal/proto ./internal/runtime ./internal/adapt ./internal/sim ./internal/obs ./internal/obs/analyze ./cmd/bwsched
+	$(GO) test -race . ./internal/engine ./internal/proto ./internal/runtime ./internal/adapt ./internal/sim ./internal/obs ./internal/obs/analyze ./internal/server ./api/v1 ./cmd/bwsched
 
 # Differential smoke: the virtual-time and wall-clock backends must
 # produce byte-identical per-node event streams through the shared
@@ -76,3 +76,9 @@ churn-smoke:
 	code=0; /tmp/bwsched-churn churn -f /tmp/bwsched-churn-platform.txt \
 		-seed 3 -rate 40 -crash-frac 0.9 -duration 600 || code=$$?; \
 		test "$$code" -eq 9
+
+# Control-plane smoke: start bwschedd on a random port and drive the
+# api/v1 wire end to end — cache miss/hit markers, the typed 422
+# envelope, an SSE analyzer verdict, and exit 10 on a dead daemon.
+serve-smoke:
+	sh scripts/serve-smoke.sh

@@ -1,0 +1,33 @@
+// Package apiv1 is the versioned wire API of the bwschedd control
+// plane: the request/response DTOs every HTTP endpoint speaks, and the
+// typed error envelope that carries the facade's sentinel errors across
+// the wire with the same classification the bwsched CLI exposes as exit
+// codes.
+//
+// The package exists so the facade's Go types (bwc.Result, bwc.Schedule,
+// bwc.SessionStats, ...) stop doubling as a wire format: those types are
+// free to evolve with the solver, while everything in this package is a
+// compatibility contract.
+//
+// # Compatibility policy
+//
+//   - Every DTO field has an explicit, stable JSON tag. Within api/v1,
+//     fields are only ever added, never renamed, removed or retyped.
+//   - Exact quantities (throughputs, periods, instants) travel as
+//     rational strings ("10/9"); float companions are advisory.
+//   - Error responses always carry the Envelope shape; Code values are
+//     append-only and each maps to a fixed HTTP status and CLI exit
+//     code (see ErrorCode).
+//   - Unknown JSON fields are ignored by both sides, so older clients
+//     keep working against newer servers and vice versa.
+//   - Breaking changes get a new package (api/v2) and path prefix; v1
+//     keeps serving until it is formally retired.
+//
+// See api/v1/README.md for the endpoint reference.
+package apiv1
+
+// Version is the wire API version this package defines.
+const Version = "v1"
+
+// PathPrefix is the URL prefix every versioned endpoint lives under.
+const PathPrefix = "/api/v1"

@@ -1,0 +1,165 @@
+package apiv1
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"bwc/internal/bwcerr"
+)
+
+// ErrorCode classifies a wire error. The set is append-only; each code
+// maps to exactly one HTTP status and one bwsched exit code, pinning
+// the wire contract to the CLI contract: a script driving the daemon
+// over HTTP and a script driving the binary directly branch on the same
+// classification.
+type ErrorCode string
+
+const (
+	// CodeBadRequest: the request itself is malformed (invalid JSON,
+	// missing fields, unparsable rationals). HTTP 400, exit 1.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeNotFound: no such resource (unknown run ID, unknown platform
+	// fingerprint, unknown endpoint). HTTP 404, exit 1.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeNotATree wraps bwc.ErrNotATree: the submitted platform
+	// violates the tree model. HTTP 422, exit 4.
+	CodeNotATree ErrorCode = "not_a_tree"
+	// CodeInfeasible wraps bwc.ErrInfeasible: no positive-throughput
+	// steady state exists. HTTP 409, exit 5.
+	CodeInfeasible ErrorCode = "infeasible"
+	// CodeScheduleStale wraps bwc.ErrScheduleStale: drift detected with
+	// adaptation disabled. HTTP 409, exit 6.
+	CodeScheduleStale ErrorCode = "schedule_stale"
+	// CodeAdaptTimeout wraps bwc.ErrAdaptTimeout: the adaptation loop
+	// did not converge. HTTP 504, exit 7.
+	CodeAdaptTimeout ErrorCode = "adapt_timeout"
+	// CodePerfRegression wraps bwc.ErrPerfRegression: a benchmark
+	// trajectory failed its baseline gate. HTTP 500, exit 8.
+	CodePerfRegression ErrorCode = "perf_regression"
+	// CodeChurnCollapse wraps bwc.ErrChurnCollapse: churn drove
+	// retained throughput below the retention floor. HTTP 503, exit 9.
+	CodeChurnCollapse ErrorCode = "churn_collapse"
+	// CodeDaemonUnreachable wraps bwc.ErrDaemonUnreachable. The server
+	// never emits it — it is the client-side classification for "no HTTP
+	// response at all" — but it lives in the table so the whole exit-code
+	// surface is defined in one place. HTTP 502, exit 10.
+	CodeDaemonUnreachable ErrorCode = "daemon_unreachable"
+	// CodeInternal: an unclassified server-side failure, mirroring the
+	// CLI's "internal error" exit. HTTP 500, exit 3.
+	CodeInternal ErrorCode = "internal"
+)
+
+// codeInfo pins one code's wire and CLI mapping.
+type codeInfo struct {
+	status   int
+	exitCode int
+	sentinel error // nil for codes without a facade sentinel
+}
+
+// codeTable is the single source of truth for the envelope ↔ exit-code
+// contract; api/v1/README.md renders it and the CLI tests pin it.
+var codeTable = map[ErrorCode]codeInfo{
+	CodeBadRequest:        {http.StatusBadRequest, 1, nil},
+	CodeNotFound:          {http.StatusNotFound, 1, nil},
+	CodeNotATree:          {http.StatusUnprocessableEntity, 4, bwcerr.ErrNotATree},
+	CodeInfeasible:        {http.StatusConflict, 5, bwcerr.ErrInfeasible},
+	CodeScheduleStale:     {http.StatusConflict, 6, bwcerr.ErrScheduleStale},
+	CodeAdaptTimeout:      {http.StatusGatewayTimeout, 7, bwcerr.ErrAdaptTimeout},
+	CodePerfRegression:    {http.StatusInternalServerError, 8, bwcerr.ErrPerfRegression},
+	CodeChurnCollapse:     {http.StatusServiceUnavailable, 9, bwcerr.ErrChurnCollapse},
+	CodeDaemonUnreachable: {http.StatusBadGateway, 10, bwcerr.ErrDaemonUnreachable},
+	CodeInternal:          {http.StatusInternalServerError, 3, nil},
+}
+
+// sentinelOrder lists the sentinel-backed codes in classification order
+// (most specific first, matching the CLI's exitCode switch).
+var sentinelOrder = []ErrorCode{
+	CodeNotATree, CodeInfeasible, CodeScheduleStale, CodeAdaptTimeout,
+	CodePerfRegression, CodeChurnCollapse, CodeDaemonUnreachable,
+}
+
+// HTTPStatus returns the HTTP status a response carrying this code uses.
+// Unknown codes (a newer server talking to an older client) degrade to
+// 500.
+func (c ErrorCode) HTTPStatus() int {
+	if info, ok := codeTable[c]; ok {
+		return info.status
+	}
+	return http.StatusInternalServerError
+}
+
+// ExitCode returns the bwsched exit code for this classification —
+// identical to what the CLI's own sentinel switch produces for the
+// underlying error.
+func (c ErrorCode) ExitCode() int {
+	if info, ok := codeTable[c]; ok {
+		return info.exitCode
+	}
+	return 1
+}
+
+// Sentinel returns the facade sentinel this code wraps, or nil for
+// codes without one (bad_request, not_found, internal).
+func (c ErrorCode) Sentinel() error {
+	if info, ok := codeTable[c]; ok {
+		return info.sentinel
+	}
+	return nil
+}
+
+// CodeOf classifies err exactly as the bwsched CLI does before mapping
+// to an exit code: errors.Is against each sentinel, CodeInternal for
+// everything unclassified.
+func CodeOf(err error) ErrorCode {
+	for _, c := range sentinelOrder {
+		if errors.Is(err, codeTable[c].sentinel) {
+			return c
+		}
+	}
+	return CodeInternal
+}
+
+// Error is the typed wire error: the payload of every non-2xx response.
+// It implements error and unwraps to the facade sentinel its code
+// classifies, so a client that decoded an envelope can hand the Error
+// straight to errors.Is — and the bwsched CLI's exit-code switch — as
+// if the failure had happened in-process.
+type Error struct {
+	// Code is the stable machine-readable classification.
+	Code ErrorCode `json:"code"`
+	// Message is the human-readable detail; its wording is not part of
+	// the compatibility contract.
+	Message string `json:"message"`
+	// ExitCode is the bwsched exit code for this classification,
+	// duplicated on the wire so shell clients can branch without
+	// carrying the table.
+	ExitCode int `json:"exit_code"`
+}
+
+// NewError builds the wire error for err, classifying it through the
+// same sentinel table the CLI uses.
+func NewError(err error) *Error {
+	c := CodeOf(err)
+	return &Error{Code: c, Message: err.Error(), ExitCode: c.ExitCode()}
+}
+
+// Errorf builds a wire error with an explicit code (for request-shape
+// failures that never passed through the facade).
+func Errorf(code ErrorCode, format string, a ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, a...), ExitCode: code.ExitCode()}
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s (%s)", e.Message, e.Code)
+}
+
+// Unwrap returns the sentinel the code classifies (nil when there is
+// none), making decoded envelopes errors.Is-matchable.
+func (e *Error) Unwrap() error { return e.Code.Sentinel() }
+
+// Envelope is the body of every error response: {"error": {...}}.
+type Envelope struct {
+	Error *Error `json:"error"`
+}

@@ -1,0 +1,153 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"bwc/internal/bwcerr"
+)
+
+// TestCodeTable pins the full code ↔ HTTP status ↔ exit code ↔ sentinel
+// contract. Rows here mirror api/v1/README.md and the CLI's exitCode
+// switch; changing any mapping is a breaking wire change.
+func TestCodeTable(t *testing.T) {
+	for _, tc := range []struct {
+		code     ErrorCode
+		status   int
+		exit     int
+		sentinel error
+	}{
+		{CodeBadRequest, http.StatusBadRequest, 1, nil},
+		{CodeNotFound, http.StatusNotFound, 1, nil},
+		{CodeNotATree, http.StatusUnprocessableEntity, 4, bwcerr.ErrNotATree},
+		{CodeInfeasible, http.StatusConflict, 5, bwcerr.ErrInfeasible},
+		{CodeScheduleStale, http.StatusConflict, 6, bwcerr.ErrScheduleStale},
+		{CodeAdaptTimeout, http.StatusGatewayTimeout, 7, bwcerr.ErrAdaptTimeout},
+		{CodePerfRegression, http.StatusInternalServerError, 8, bwcerr.ErrPerfRegression},
+		{CodeChurnCollapse, http.StatusServiceUnavailable, 9, bwcerr.ErrChurnCollapse},
+		{CodeDaemonUnreachable, http.StatusBadGateway, 10, bwcerr.ErrDaemonUnreachable},
+		{CodeInternal, http.StatusInternalServerError, 3, nil},
+	} {
+		if got := tc.code.HTTPStatus(); got != tc.status {
+			t.Errorf("%s.HTTPStatus() = %d, want %d", tc.code, got, tc.status)
+		}
+		if got := tc.code.ExitCode(); got != tc.exit {
+			t.Errorf("%s.ExitCode() = %d, want %d", tc.code, got, tc.exit)
+		}
+		if got := tc.code.Sentinel(); got != tc.sentinel {
+			t.Errorf("%s.Sentinel() = %v, want %v", tc.code, got, tc.sentinel)
+		}
+	}
+}
+
+// TestCodeOf classifies wrapped sentinels exactly as the CLI does.
+func TestCodeOf(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want ErrorCode
+	}{
+		{bwcerr.ErrNotATree, CodeNotATree},
+		{fmt.Errorf("parse: %w", bwcerr.ErrNotATree), CodeNotATree},
+		{fmt.Errorf("deep: %w", fmt.Errorf("wrap: %w", bwcerr.ErrInfeasible)), CodeInfeasible},
+		{bwcerr.ErrScheduleStale, CodeScheduleStale},
+		{bwcerr.ErrAdaptTimeout, CodeAdaptTimeout},
+		{bwcerr.ErrPerfRegression, CodePerfRegression},
+		{bwcerr.ErrChurnCollapse, CodeChurnCollapse},
+		{bwcerr.ErrDaemonUnreachable, CodeDaemonUnreachable},
+		{errors.New("anything else"), CodeInternal},
+	} {
+		if got := CodeOf(tc.err); got != tc.want {
+			t.Errorf("CodeOf(%v) = %s, want %s", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestUnknownCodeDegrades: a newer server's unknown code must not crash
+// an older client — it degrades to 500 / exit 1 / no sentinel.
+func TestUnknownCodeDegrades(t *testing.T) {
+	c := ErrorCode("from_the_future")
+	if got := c.HTTPStatus(); got != http.StatusInternalServerError {
+		t.Errorf("HTTPStatus = %d, want 500", got)
+	}
+	if got := c.ExitCode(); got != 1 {
+		t.Errorf("ExitCode = %d, want 1", got)
+	}
+	if got := c.Sentinel(); got != nil {
+		t.Errorf("Sentinel = %v, want nil", got)
+	}
+}
+
+// TestErrorRoundTrip: an error built server-side, marshaled as an
+// envelope, and decoded client-side must still satisfy errors.Is against
+// the original sentinel — the property that makes daemon-mode exit codes
+// identical to in-process ones.
+func TestErrorRoundTrip(t *testing.T) {
+	src := fmt.Errorf("platform line 3: %w", bwcerr.ErrNotATree)
+	wire := NewError(src)
+	if wire.Code != CodeNotATree || wire.ExitCode != 4 {
+		t.Fatalf("NewError = %+v, want code not_a_tree / exit 4", wire)
+	}
+	body, err := json.Marshal(Envelope{Error: wire})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error == nil {
+		t.Fatal("decoded envelope has no error")
+	}
+	if !errors.Is(env.Error, bwcerr.ErrNotATree) {
+		t.Errorf("decoded envelope does not unwrap to ErrNotATree: %v", env.Error)
+	}
+	if errors.Is(env.Error, bwcerr.ErrInfeasible) {
+		t.Errorf("decoded envelope wrongly matches ErrInfeasible")
+	}
+	if env.Error.ExitCode != 4 {
+		t.Errorf("decoded exit_code = %d, want 4", env.Error.ExitCode)
+	}
+}
+
+// TestEnvelopeJSONShape pins the wire field names — stable tags are the
+// compatibility contract.
+func TestEnvelopeJSONShape(t *testing.T) {
+	body, err := json.Marshal(Envelope{Error: Errorf(CodeBadRequest, "missing %q", "platform")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := raw["error"]
+	if !ok {
+		t.Fatalf("envelope missing %q key: %s", "error", body)
+	}
+	for _, key := range []string{"code", "message", "exit_code"} {
+		if _, ok := e[key]; !ok {
+			t.Errorf("error object missing %q key: %s", key, body)
+		}
+	}
+	if e["code"] != "bad_request" {
+		t.Errorf("code = %v, want bad_request", e["code"])
+	}
+	if e["exit_code"] != float64(1) {
+		t.Errorf("exit_code = %v, want 1", e["exit_code"])
+	}
+}
+
+// TestErrorfNoSentinel: request-shape errors carry no sentinel, so they
+// never spuriously match errors.Is checks.
+func TestErrorfNoSentinel(t *testing.T) {
+	e := Errorf(CodeNotFound, "no such run")
+	if errors.Is(e, bwcerr.ErrNotATree) {
+		t.Error("not_found wrongly unwraps to ErrNotATree")
+	}
+	if e.Unwrap() != nil {
+		t.Errorf("Unwrap = %v, want nil", e.Unwrap())
+	}
+}

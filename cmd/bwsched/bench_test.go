@@ -112,7 +112,10 @@ func TestExitCodes(t *testing.T) {
 		{bwc.ErrScheduleStale, 6},
 		{bwc.ErrAdaptTimeout, 7},
 		{bwc.ErrPerfRegression, 8},
+		{bwc.ErrChurnCollapse, 9},
+		{bwc.ErrDaemonUnreachable, 10},
 		{fmt.Errorf("wrapped: %w", bwc.ErrPerfRegression), 8},
+		{fmt.Errorf("wrapped: %w", bwc.ErrDaemonUnreachable), 10},
 		{fmt.Errorf("anything else"), 1},
 	} {
 		if got := exitCode(tc.err); got != tc.want {

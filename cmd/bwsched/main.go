@@ -32,6 +32,12 @@
 //	bench       run the registered perf suite; write BENCH_<label>.json
 //	            trajectory points, capture pprof profiles, and gate against
 //	            a committed baseline (exit 8 on regression)
+//	serve       run bwschedd, the multi-tenant scheduling control plane
+//	            (HTTP/JSON api/v1: solve, simulate, analyze, adaptive,
+//	            churn, SSE event stream, /metrics, dashboard)
+//	submit      submit a platform to a running bwschedd (exit 10 when the
+//	            daemon is unreachable; envelope errors map to exits 4-9)
+//	watch       stream a bwschedd's live events (SSE client)
 //	makespan    finite-batch makespan vs the steady-state lower bound
 //	infinite    infinite k-ary tree throughput and truncations
 //	gen         generate a synthetic platform
@@ -114,6 +120,12 @@ func run(args []string) (code int) {
 		err = cmdBench(rest)
 	case "analyze":
 		err = cmdAnalyze(rest)
+	case "serve":
+		err = cmdServe(rest)
+	case "submit":
+		err = cmdSubmit(rest)
+	case "watch":
+		err = cmdWatch(rest)
 	case "example":
 		fmt.Print(bwc.FormatPlatform(bwc.PaperExampleTree()))
 	case "-h", "--help", "help":
@@ -136,7 +148,9 @@ func run(args []string) (code int) {
 // adaptation disabled (stale schedule), 7 the adaptation loop could not
 // converge, 8 the benchmark trajectory regressed against its baseline,
 // 9 sustained churn collapsed retained throughput below the retention
-// floor. Everything else stays 1.
+// floor, 10 the bwschedd daemon could not be reached at all. Everything
+// else stays 1. Errors decoded from api/v1 envelopes unwrap to the same
+// sentinels, so client-mode commands land on the same codes.
 func exitCode(err error) int {
 	switch {
 	case errors.Is(err, bwc.ErrNotATree):
@@ -151,6 +165,8 @@ func exitCode(err error) int {
 		return 8
 	case errors.Is(err, bwc.ErrChurnCollapse):
 		return 9
+	case errors.Is(err, bwc.ErrDaemonUnreachable):
+		return 10
 	}
 	return 1
 }
@@ -181,6 +197,14 @@ commands:
   bench      [-out BENCH_X.json] [-compare BENCH_PR6.json] [-profile dir]
              [-short] [-benchtime 1s] [-run regex] [-label X] [-threshold 0.10]
              run the perf suite; exit 8 on regression against the baseline
+  serve      [-addr 127.0.0.1:8377] [-max-sessions 64] [-history 256] [-addr-file p]
+             run bwschedd: the multi-tenant control plane (api/v1 over HTTP,
+             SSE events, /metrics, /healthz, HTML dashboard at /)
+  submit     -f platform.txt [-server 127.0.0.1:8377] [-block] [-quantize D]
+             [-analyze] [-json]   solve via a running bwschedd; exit 10 if
+             the daemon is unreachable, envelope errors map to exits 4-9
+  watch      [-server ...] [-run r000001] [-event analyze.verdict] [-n 1]
+             stream live bwschedd events (one JSON object per line)
   infinite   -k 2 -w 2 -c 1 [-depth 8]
   gen        -kind uniform -n 30 -seed 1
   dot        -f platform.txt [-used]

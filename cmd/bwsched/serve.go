@@ -1,0 +1,219 @@
+package main
+
+// Client/daemon mode: `bwsched serve` runs the bwschedd control plane
+// (internal/server); `bwsched submit` and `bwsched watch` drive a running
+// daemon over the api/v1 wire API. Errors that arrive as api/v1 envelopes
+// unwrap to the same facade sentinels the in-process commands return, so
+// exitCode maps them to identical exit codes; a daemon that cannot be
+// reached at all maps to bwc.ErrDaemonUnreachable (exit 10).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"bwc"
+	apiv1 "bwc/api/v1"
+	"bwc/internal/server"
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", server.DefaultAddr, "listen address (host:0 picks a free port)")
+	maxSessions := fs.Int("max-sessions", 64, "LRU bound on concurrently cached tenant sessions")
+	history := fs.Int("history", 256, "retained run records")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	fs.Parse(args)
+	srv := server.New(server.Options{
+		Addr:        *addr,
+		MaxSessions: *maxSessions,
+		History:     *history,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Close()
+	bound := srv.Addr()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("bwschedd listening on http://%s (api %s)\n", bound, apiv1.Version)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("bwschedd: shutting down")
+	return nil
+}
+
+// serverURL normalizes the -server flag into a base URL.
+func serverURL(s string) string {
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return strings.TrimRight(s, "/")
+}
+
+// unreachable wraps a transport-level failure (no HTTP response at all)
+// with the sentinel exitCode maps to 10.
+func unreachable(base string, err error) error {
+	return fmt.Errorf("%w at %s: %v", bwc.ErrDaemonUnreachable, base, err)
+}
+
+// postJSON posts body to base+path and decodes a 2xx response into out.
+// Non-2xx responses are decoded as api/v1 envelopes and returned as the
+// typed *apiv1.Error, which unwraps to the matching facade sentinel.
+func postJSON(base, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return unreachable(base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var env apiv1.Envelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+			return fmt.Errorf("bwschedd returned HTTP %d with no error envelope", resp.StatusCode)
+		}
+		return env.Error
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// loadPlatformText reads the raw platform text (the wire carries text,
+// not parsed trees; the daemon parses and fingerprints it).
+func loadPlatformText(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	srv := fs.String("server", server.DefaultAddr, "bwschedd address")
+	file := fs.String("f", "-", "platform file ('-' = stdin)")
+	block := fs.Bool("block", false, "block allocation instead of interleaving")
+	quantize := fs.Int64("quantize", 0, "quantize rates to denominators dividing D")
+	analyze := fs.Bool("analyze", false, "run the conformance analyzer instead of returning the schedule")
+	asJSON := fs.Bool("json", false, "print the raw api/v1 response")
+	fs.Parse(args)
+	platform, err := loadPlatformText(*file)
+	if err != nil {
+		return err
+	}
+	base := serverURL(*srv)
+	if *analyze {
+		var resp apiv1.AnalyzeResponse
+		err := postJSON(base, apiv1.PathPrefix+"/analyze", apiv1.AnalyzeRequest{
+			Platform: platform,
+			Block:    *block,
+		}, &resp)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return printJSON(resp)
+		}
+		fmt.Printf("run:         %s\n", resp.RunID)
+		fmt.Printf("fingerprint: %.12s\n", resp.Fingerprint)
+		for _, c := range resp.Report.Checks {
+			fmt.Printf("  %-28s %-4s %s\n", c.Name, c.Verdict, c.Detail)
+		}
+		fmt.Printf("healthy:     %v (%d pass / %d fail / %d skip)\n",
+			resp.Report.Healthy, resp.Report.Passed, resp.Report.Failed, resp.Report.Skipped)
+		return nil
+	}
+	var resp apiv1.SubmitResponse
+	err = postJSON(base, apiv1.PathPrefix+"/platforms", apiv1.SubmitRequest{
+		Platform: platform,
+		Block:    *block,
+		Quantize: *quantize,
+	}, &resp)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(resp)
+	}
+	fmt.Printf("fingerprint:  %.12s\n", resp.Fingerprint)
+	fmt.Printf("cache:        %s\n", resp.Cache)
+	fmt.Printf("throughput:   %s (%.6f tasks/unit)\n", resp.Throughput, resp.ThroughputFloat)
+	if resp.Quantized != "" {
+		fmt.Printf("quantized:    %s\n", resp.Quantized)
+	}
+	fmt.Printf("nodes:        %d (%d visited)\n", resp.Nodes, resp.Visited)
+	fmt.Printf("tree period:  %s\n", resp.TreePeriod)
+	fmt.Printf("rootless:     %s\n", resp.RootlessPeriod)
+	fmt.Printf("startup:      %s\n", resp.StartupBound)
+	return nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	srv := fs.String("server", server.DefaultAddr, "bwschedd address")
+	run := fs.String("run", "", "only events of this run ID")
+	event := fs.String("event", "", "only events whose name has this prefix")
+	n := fs.Int("n", 0, "exit after n events (0 = stream forever)")
+	fs.Parse(args)
+	base := serverURL(*srv)
+	q := url.Values{}
+	if *run != "" {
+		q.Set("run", *run)
+	}
+	if *event != "" {
+		q.Set("name", *event)
+	}
+	if *n > 0 {
+		q.Set("n", strconv.Itoa(*n))
+	}
+	u := base + apiv1.PathPrefix + "/events"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return unreachable(base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var env apiv1.Envelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil {
+			return fmt.Errorf("bwschedd returned HTTP %d with no error envelope", resp.StatusCode)
+		}
+		return env.Error
+	}
+	// SSE frames: print each data payload as one JSON line. The server
+	// bounds the stream itself when n is set.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			fmt.Println(data)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bwc"
+	apiv1 "bwc/api/v1"
+	"bwc/internal/server"
+)
+
+// startDaemon runs an in-process bwschedd on a random port and returns
+// its address, so the client commands exercise the real HTTP path.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Options{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+func TestCmdSubmitColdThenHit(t *testing.T) {
+	addr := startDaemon(t)
+	f := platformFile(t)
+	first := capture(t, func() error {
+		return cmdSubmit([]string{"-server", addr, "-f", f})
+	})
+	for _, frag := range []string{"cache:        miss", "throughput:   10/9", "fingerprint:"} {
+		if !strings.Contains(first, frag) {
+			t.Errorf("first submit output missing %q:\n%s", frag, first)
+		}
+	}
+	second := capture(t, func() error {
+		return cmdSubmit([]string{"-server", addr, "-f", f})
+	})
+	if !strings.Contains(second, "cache:        hit") {
+		t.Errorf("second submit not flagged as cache hit:\n%s", second)
+	}
+}
+
+func TestCmdSubmitAnalyze(t *testing.T) {
+	addr := startDaemon(t)
+	f := platformFile(t)
+	out := capture(t, func() error {
+		return cmdSubmit([]string{"-server", addr, "-f", f, "-analyze"})
+	})
+	for _, frag := range []string{"run:         r", "healthy:     true"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("analyze output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestCmdSubmitWireExitCodes: errors decoded from api/v1 envelopes land
+// on the same exit codes as in-process failures — a malformed platform
+// rejected by the daemon still exits 4.
+func TestCmdSubmitWireExitCodes(t *testing.T) {
+	addr := startDaemon(t)
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("P0 - - 9\nP1 NOPE 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"submit", "-server", addr, "-f", bad}); code != 4 {
+		t.Errorf("malformed platform over the wire exited %d, want 4", code)
+	}
+}
+
+// TestCmdSubmitUnreachable: no daemon at all (a port we just released)
+// maps to bwc.ErrDaemonUnreachable and exit code 10.
+func TestCmdSubmitUnreachable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	f := platformFile(t)
+	if code := run([]string{"submit", "-server", dead, "-f", f}); code != 10 {
+		t.Errorf("unreachable daemon exited %d, want 10", code)
+	}
+	if code := run([]string{"watch", "-server", dead, "-n", "1"}); code != 10 {
+		t.Errorf("unreachable daemon (watch) exited %d, want 10", code)
+	}
+}
+
+// TestCmdWatchStreamsVerdicts: `bwsched watch` prints analyzer verdict
+// events produced by concurrent analyze submissions, and terminates on
+// its own thanks to the server-side n bound.
+func TestCmdWatchStreamsVerdicts(t *testing.T) {
+	addr := startDaemon(t)
+	paper := bwc.FormatPlatform(bwc.PaperExampleTree())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Keep producing analyze runs until the watcher is done; the
+		// first runs may predate its subscription.
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var resp apiv1.AnalyzeResponse
+			_ = postJSON("http://"+addr, apiv1.PathPrefix+"/analyze",
+				apiv1.AnalyzeRequest{Platform: paper, Periods: 2}, &resp)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+	out := capture(t, func() error {
+		return cmdWatch([]string{"-server", addr, "-event", "analyze.verdict", "-n", "1"})
+	})
+	close(stop)
+	wg.Wait()
+	if !strings.Contains(out, `"name":"analyze.verdict"`) {
+		t.Errorf("watch output carries no analyze.verdict event:\n%s", out)
+	}
+}

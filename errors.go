@@ -8,8 +8,10 @@ import "bwc/internal/bwcerr"
 //
 //	if errors.Is(err, bwc.ErrInfeasible) { ... }
 //
-// The bwsched CLI maps them to distinct exit codes (4–7) so shell
-// pipelines can branch on the failure class.
+// The bwsched CLI maps them to distinct exit codes (4–10) so shell
+// pipelines can branch on the failure class, and the bwschedd control
+// plane maps the same sentinels to HTTP statuses through the api/v1
+// error envelope (see api/v1).
 var (
 	// ErrNotATree reports an input platform that violates the tree model:
 	// structural builder and parser errors (no root, duplicate names,
@@ -43,4 +45,12 @@ var (
 	// configured retention floor (WithRetentionFloor) and the re-solve
 	// retry budget is exhausted. The bwsched CLI maps it to exit code 9.
 	ErrChurnCollapse = bwcerr.ErrChurnCollapse
+
+	// ErrDaemonUnreachable reports that a client-mode command (bwsched
+	// submit / watch) could not reach the bwschedd control plane at all:
+	// no HTTP response was received, so nothing about the platform was
+	// evaluated. The bwsched CLI maps it to exit code 10; responses that
+	// did arrive carry an api/v1 error envelope that unwraps to one of
+	// the sentinels above instead.
+	ErrDaemonUnreachable = bwcerr.ErrDaemonUnreachable
 )

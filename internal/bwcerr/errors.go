@@ -21,7 +21,11 @@
 //	ErrChurnCollapse  sustained churn drove retained throughput below the
 //	                  configured floor and the re-solve retry budget is
 //	                  exhausted — the graceful-degradation contract's
-//	                  terminal state, raised instead of thrashing forever.
+//	                  terminal state, raised instead of thrashing forever;
+//	ErrDaemonUnreachable
+//	                  a client-mode command (bwsched submit/watch) could
+//	                  not reach the bwschedd control plane at all: nothing
+//	                  about the platform was evaluated.
 package bwcerr
 
 import "errors"
@@ -45,3 +49,10 @@ var ErrPerfRegression = errors.New("performance regression against baseline")
 // ErrChurnCollapse reports that churn degraded the platform past the
 // configured retention floor and retries could not recover it.
 var ErrChurnCollapse = errors.New("churn collapsed throughput below the retention floor")
+
+// ErrDaemonUnreachable reports that a client-mode command could not
+// connect to the bwschedd control plane (connection refused, DNS
+// failure, timeout before any HTTP response). The bwsched CLI maps it
+// to exit code 10 so scripts can distinguish "the daemon is down" from
+// every in-band scheduling failure.
+var ErrDaemonUnreachable = errors.New("scheduling daemon unreachable")

@@ -168,6 +168,14 @@ func WithScheduleOptions(o ScheduleOptions) Option {
 	return func(c *callCfg) { c.schedOptions = o }
 }
 
+// WithBlock switches schedule construction to block allocation instead
+// of the default interleaved pattern — shorthand for the one
+// ScheduleOptions field with a wire-level counterpart (api/v1
+// SubmitRequest.Block).
+func WithBlock() Option {
+	return func(c *callCfg) { c.schedOptions.Block = true }
+}
+
 // WithScale converts one virtual time unit to the given wall-clock
 // duration in Execute and ExecuteAdaptive.
 func WithScale(d time.Duration) Option {

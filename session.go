@@ -15,6 +15,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
 
 	"bwc/internal/adapt"
 	"bwc/internal/bwfirst"
@@ -64,14 +65,26 @@ type Session struct {
 	scheds map[schedKey]*schedEntry
 	hits   int
 	misses int
+	perFP  map[string]*FingerprintStats
 }
 
 // solveEntry coalesces concurrent solves of one platform: the first
 // caller runs the wave inside once, later callers block on it and share
-// the result.
+// the result. done flips after res is written, so Cached can peek at a
+// completed entry without blocking on a solve still in flight.
 type solveEntry struct {
 	once sync.Once
 	res  *Result
+	done atomic.Bool
+}
+
+// solvedEntry wraps an already-computed result as a completed entry, the
+// installation path shared by Prime, reprime and InvalidateDelta.
+func solvedEntry(res *Result) *solveEntry {
+	e := &solveEntry{res: res}
+	e.once.Do(func() {})
+	e.done.Store(true)
+	return e
 }
 
 // schedKey keys materialized schedules by platform fingerprint and the
@@ -87,6 +100,21 @@ type schedEntry struct {
 	err  error
 }
 
+// FingerprintStats is one platform fingerprint's slice of a Session's
+// memo accounting: how often its entries were served from cache, how
+// often they had to be computed, and how many of its entries were
+// dropped by invalidation or re-priming.
+type FingerprintStats struct {
+	// Hits counts calls for this fingerprint served from the memo.
+	Hits int
+	// Misses counts calls for this fingerprint that ran the solver or
+	// schedule construction.
+	Misses int
+	// Evictions counts memo entries of this fingerprint dropped by
+	// Invalidate / InvalidateDelta / adaptive re-priming.
+	Evictions int
+}
+
 // SessionStats is a snapshot of a Session's memo.
 type SessionStats struct {
 	// Hits counts calls served from the memo.
@@ -96,6 +124,11 @@ type SessionStats struct {
 	// Solves and Schedules count the live entries per layer.
 	Solves    int
 	Schedules int
+	// ByFingerprint breaks the counters down per platform fingerprint —
+	// the per-tenant view the bwschedd control plane exports as cache
+	// metrics. The map is a deep copy: it stays coherent under
+	// concurrent eviction.
+	ByFingerprint map[string]FingerprintStats
 }
 
 // NewSession returns an empty Session. The given options are prepended
@@ -106,8 +139,23 @@ func NewSession(defaults ...Option) *Session {
 		fps:      make(map[*Tree]string),
 		solves:   make(map[string]*solveEntry),
 		scheds:   make(map[schedKey]*schedEntry),
+		perFP:    make(map[string]*FingerprintStats),
 	}
 }
+
+// fpStatsLocked returns fp's mutable counters; the caller holds se.mu.
+func (se *Session) fpStatsLocked(fp string) *FingerprintStats {
+	st, ok := se.perFP[fp]
+	if !ok {
+		st = &FingerprintStats{}
+		se.perFP[fp] = st
+	}
+	return st
+}
+
+// hitLocked / missLocked record one memo outcome for fp under se.mu.
+func (se *Session) hitLocked(fp string)  { se.hits++; se.fpStatsLocked(fp).Hits++ }
+func (se *Session) missLocked(fp string) { se.misses++; se.fpStatsLocked(fp).Misses++ }
 
 // fingerprint is PlatformFingerprint memoized per tree pointer, so cache
 // hits skip re-serializing the platform. Distinct pointers to identical
@@ -133,19 +181,63 @@ func (se *Session) options(opts []Option) []Option {
 // Solve returns the BW-First result for t, running the negotiation wave
 // only on the first call per fingerprint.
 func (se *Session) Solve(t *Tree, opts ...Option) *Result {
+	res, _ := se.SolveCached(t, opts...)
+	return res
+}
+
+// SolveCached is Solve plus the cache outcome: cached is true when the
+// result was served from the memo (including a coalesced concurrent
+// solve another caller started), false for the one call per fingerprint
+// that actually ran the negotiation wave. Under concurrency exactly one
+// caller per fingerprint observes cached == false — the observable the
+// control plane's cache-hit marker is built on.
+func (se *Session) SolveCached(t *Tree, opts ...Option) (res *Result, cached bool) {
 	fp := se.fingerprint(t)
 	se.mu.Lock()
 	e, ok := se.solves[fp]
 	if !ok {
 		e = &solveEntry{}
 		se.solves[fp] = e
-		se.misses++
+		se.missLocked(fp)
 	} else {
-		se.hits++
+		se.hitLocked(fp)
 	}
 	se.mu.Unlock()
-	e.once.Do(func() { e.res = Solve(t, se.options(opts)...) })
-	return e.res
+	e.once.Do(func() {
+		e.res = Solve(t, se.options(opts)...)
+		e.done.Store(true)
+	})
+	return e.res, ok
+}
+
+// Cached returns t's memoized BW-First result without solving: ok is
+// false when the platform is not in the memo or its solve is still in
+// flight. It never blocks — the lookup the shard layer uses to capture
+// an evicted platform's state.
+func (se *Session) Cached(t *Tree) (*Result, bool) {
+	fp := se.fingerprint(t)
+	se.mu.Lock()
+	e, ok := se.solves[fp]
+	se.mu.Unlock()
+	if !ok || !e.done.Load() {
+		return nil, false
+	}
+	return e.res, true
+}
+
+// Prime installs a previously computed result as t's memo entry without
+// running the solver, overwriting any existing entry. It is the warm
+// handoff path: a control plane re-admitting an evicted platform primes
+// the fresh Session with the retained result, and InvalidateDelta can
+// then carry it incrementally onto a mutated platform.
+func (se *Session) Prime(t *Tree, res *Result) {
+	if res == nil {
+		return
+	}
+	fp := se.fingerprint(t)
+	se.mu.Lock()
+	se.solves[fp] = solvedEntry(res)
+	se.mu.Unlock()
 }
 
 // BuildSchedule returns the event-driven schedule for t, memoizing both
@@ -159,9 +251,9 @@ func (se *Session) BuildSchedule(t *Tree, opts ...Option) (*Schedule, error) {
 	if !ok {
 		e = &schedEntry{}
 		se.scheds[key] = e
-		se.misses++
+		se.missLocked(key.fp)
 	} else {
-		se.hits++
+		se.hitLocked(key.fp)
 	}
 	se.mu.Unlock()
 	e.once.Do(func() { e.s, e.err = BuildSchedule(se.Solve(t, opts...), all...) })
@@ -284,9 +376,7 @@ func (se *Session) reprime(t *Tree, resolved []*Schedule, opts []Option) {
 	se.invalidateLocked(fp)
 	for _, s := range resolved {
 		fp := PlatformFingerprint(s.Tree)
-		ve := &solveEntry{res: s.Res}
-		ve.once.Do(func() {})
-		se.solves[fp] = ve
+		se.solves[fp] = solvedEntry(s.Res)
 		ce := &schedEntry{s: s}
 		ce.once.Do(func() {})
 		se.scheds[schedKey{fp: fp, opt: opt}] = ce
@@ -305,13 +395,22 @@ func (se *Session) Invalidate(t *Tree) {
 	se.invalidateLocked(fp)
 }
 
-// invalidateLocked drops fp's entries; the caller holds se.mu.
+// invalidateLocked drops fp's entries, counting each dropped entry as
+// one eviction for the fingerprint; the caller holds se.mu.
 func (se *Session) invalidateLocked(fp string) {
-	delete(se.solves, fp)
+	evicted := 0
+	if _, ok := se.solves[fp]; ok {
+		delete(se.solves, fp)
+		evicted++
+	}
 	for k := range se.scheds {
 		if k.fp == fp {
 			delete(se.scheds, k)
+			evicted++
 		}
+	}
+	if evicted > 0 {
+		se.fpStatsLocked(fp).Evictions += evicted
 	}
 }
 
@@ -346,9 +445,7 @@ func (se *Session) InvalidateDelta(old, mutated *Tree) *Result {
 		return nil
 	}
 	se.mu.Lock()
-	ve := &solveEntry{res: res}
-	ve.once.Do(func() {})
-	se.solves[newFP] = ve
+	se.solves[newFP] = solvedEntry(res)
 	se.mu.Unlock()
 	return res
 }
@@ -360,17 +457,37 @@ func (se *Session) Reset() {
 	se.fps = make(map[*Tree]string)
 	se.solves = make(map[string]*solveEntry)
 	se.scheds = make(map[schedKey]*schedEntry)
+	se.perFP = make(map[string]*FingerprintStats)
 	se.hits, se.misses = 0, 0
 }
 
-// Stats returns a snapshot of the memo.
+// Stats returns a snapshot of the memo, including the per-fingerprint
+// breakdown. The snapshot is a deep copy taken under the Session lock,
+// so it is safe to read while other goroutines solve, invalidate or
+// evict concurrently.
 func (se *Session) Stats() SessionStats {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	return SessionStats{
-		Hits:      se.hits,
-		Misses:    se.misses,
-		Solves:    len(se.solves),
-		Schedules: len(se.scheds),
+	by := make(map[string]FingerprintStats, len(se.perFP))
+	for fp, st := range se.perFP {
+		by[fp] = *st
 	}
+	return SessionStats{
+		Hits:          se.hits,
+		Misses:        se.misses,
+		Solves:        len(se.solves),
+		Schedules:     len(se.scheds),
+		ByFingerprint: by,
+	}
+}
+
+// StatsFor returns one fingerprint's counters (zero values when the
+// Session has never seen the fingerprint).
+func (se *Session) StatsFor(fp string) FingerprintStats {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if st, ok := se.perFP[fp]; ok {
+		return *st
+	}
+	return FingerprintStats{}
 }

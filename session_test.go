@@ -234,6 +234,121 @@ func TestSessionAdaptiveReprimes(t *testing.T) {
 	}
 }
 
+// TestSessionPerFingerprintStats: Stats breaks hits/misses/evictions
+// down per platform fingerprint, StatsFor reads one tenant, and the
+// ByFingerprint map is a deep copy that stays valid after mutation.
+func TestSessionPerFingerprintStats(t *testing.T) {
+	sess := bwc.NewSession()
+	a := sessionTree()
+	b := bwc.GeneratePlatform(bwc.Uniform, 12, 5)
+	fpA, fpB := bwc.PlatformFingerprint(a), bwc.PlatformFingerprint(b)
+	if fpA == fpB {
+		t.Fatal("distinct platforms share a fingerprint")
+	}
+
+	sess.Solve(a)
+	sess.Solve(a)
+	sess.Solve(b)
+	st := sess.Stats()
+	if got := st.ByFingerprint[fpA]; got.Misses != 1 || got.Hits != 1 {
+		t.Fatalf("fpA stats = %+v, want 1 miss / 1 hit", got)
+	}
+	if got := st.ByFingerprint[fpB]; got.Misses != 1 || got.Hits != 0 {
+		t.Fatalf("fpB stats = %+v, want 1 miss / 0 hits", got)
+	}
+
+	// Invalidate counts an eviction against the right fingerprint only.
+	sess.Invalidate(a)
+	if got := sess.StatsFor(fpA); got.Evictions != 1 {
+		t.Fatalf("fpA evictions = %d, want 1", got.Evictions)
+	}
+	if got := sess.StatsFor(fpB); got.Evictions != 0 {
+		t.Fatalf("fpB evictions = %d, want 0", got.Evictions)
+	}
+	if got := sess.StatsFor("unseen"); got != (bwc.FingerprintStats{}) {
+		t.Fatalf("unseen fingerprint stats = %+v, want zero", got)
+	}
+
+	// The snapshot is a copy: later session activity must not mutate it.
+	snap := sess.Stats()
+	before := snap.ByFingerprint[fpB]
+	sess.Solve(b)
+	if snap.ByFingerprint[fpB] != before {
+		t.Fatal("Stats snapshot mutated by later session activity")
+	}
+}
+
+// TestSessionStatsConcurrent reads Stats/StatsFor while other goroutines
+// solve and invalidate (run under -race): the deep-copied snapshot is
+// coherent under concurrent eviction.
+func TestSessionStatsConcurrent(t *testing.T) {
+	sess := bwc.NewSession()
+	trees := []*bwc.Tree{sessionTree(), bwc.GeneratePlatform(bwc.Uniform, 12, 5)}
+	fps := []string{bwc.PlatformFingerprint(trees[0]), bwc.PlatformFingerprint(trees[1])}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				tr := trees[(w+i)%2]
+				sess.Solve(tr)
+				if i%5 == 0 {
+					sess.Invalidate(tr)
+				}
+				st := sess.Stats()
+				for _, fp := range fps {
+					fpSt := st.ByFingerprint[fp]
+					if fpSt.Hits < 0 || fpSt.Misses < 0 {
+						t.Error("negative counters in snapshot")
+						return
+					}
+					sess.StatsFor(fp)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := sess.Stats()
+	total := 0
+	for _, fpSt := range st.ByFingerprint {
+		total += fpSt.Hits + fpSt.Misses
+	}
+	if total != st.Hits+st.Misses {
+		t.Fatalf("per-fingerprint counters (%d) do not sum to the totals (%d)",
+			total, st.Hits+st.Misses)
+	}
+}
+
+// TestSessionPrimeAndCached: Prime installs a result without solving,
+// Cached reads it without blocking, and a primed entry satisfies
+// SolveCached as a hit.
+func TestSessionPrimeAndCached(t *testing.T) {
+	tr := sessionTree()
+	donor := bwc.NewSession()
+	res := donor.Solve(tr)
+
+	sess := bwc.NewSession()
+	if _, ok := sess.Cached(tr); ok {
+		t.Fatal("empty session reports a cached result")
+	}
+	sess.Prime(tr, res)
+	got, ok := sess.Cached(tr)
+	if !ok || got != res {
+		t.Fatal("primed result not visible through Cached")
+	}
+	solved, cached := sess.SolveCached(tr)
+	if !cached || solved != res {
+		t.Fatal("primed entry did not satisfy SolveCached as a hit")
+	}
+	// Prime(nil) is a no-op, not a poisoned entry.
+	fresh := bwc.NewSession()
+	fresh.Prime(tr, nil)
+	if _, ok := fresh.Cached(tr); ok {
+		t.Fatal("Prime(nil) installed an entry")
+	}
+}
+
 // BenchmarkSessionSolveCold measures the full negotiation wave per call
 // (fresh Session each time); BenchmarkSessionSolveCached measures the
 // memo hit. The recorded speedup lives in EXPERIMENTS.md and must stay
