@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt build test vet race bench bench-trajectory bench-baseline adapt-demo engine-diff churn-smoke serve-smoke
+.PHONY: tier1 fmt build test vet race bench bench-trajectory bench-baseline adapt-demo engine-diff churn-smoke serve-smoke resultreturn-smoke
 
 tier1: fmt build test vet race
 
@@ -33,9 +33,12 @@ race:
 
 # Differential smoke: the virtual-time and wall-clock backends must
 # produce byte-identical per-node event streams through the shared
-# engine (run twice, under the race detector).
+# engine (run twice, under the race detector). Covers the forward-only
+# sim-vs-runtime proof, the zero-return byte-identity sweep across
+# every treegen family, and the sim-vs-runtime proof on result-return
+# platforms.
 engine-diff:
-	$(GO) test -race -count=2 -run TestDifferentialSimVsRuntime -v ./internal/engine
+	$(GO) test -race -count=2 -run TestDifferential -v ./internal/engine
 
 # Observability overhead benchmarks (EXPERIMENTS.md records the numbers).
 bench:
@@ -46,7 +49,7 @@ bench:
 # job runs; exit code 8 means a metric regressed. BENCHTIME is pinned so
 # every point on the trajectory measures the same way.
 BENCHTIME ?= 1s
-BASELINE  ?= BENCH_PR6.json
+BASELINE  ?= BENCH_PR10.json
 bench-trajectory:
 	$(GO) run ./cmd/bwsched bench -short -benchtime $(BENCHTIME) -compare $(BASELINE)
 
@@ -76,6 +79,22 @@ churn-smoke:
 	code=0; /tmp/bwsched-churn churn -f /tmp/bwsched-churn-platform.txt \
 		-seed 3 -rate 40 -crash-frac 0.9 -duration 600 || code=$$?; \
 		test "$$code" -eq 9
+
+# Result-return smoke: the Section-9 counter-example end to end. The
+# CLI must report the 2-vs-1 separate-vs-folded advantage, drain every
+# result through the engine, and take a PASS from the analyzer's
+# result-return check (exit 0). Forward-only platforms must be refused
+# (exit 1). Built binary, not `go run`, to preserve exit codes.
+resultreturn-smoke:
+	$(GO) build -o /tmp/bwsched-rr ./cmd/bwsched
+	printf 'M - - inf\nP1 M 1/2 1 1/2\nP2 M 1/2 1 1/2\n' \
+		> /tmp/bwsched-rr-platform.txt
+	/tmp/bwsched-rr resultreturn -f /tmp/bwsched-rr-platform.txt -n 80
+	printf 'M - - inf\nP1 M 1/2 1\nP2 M 1/2 1\n' \
+		> /tmp/bwsched-rr-forward.txt
+	code=0; /tmp/bwsched-rr resultreturn -f /tmp/bwsched-rr-forward.txt \
+		|| code=$$?; test "$$code" -eq 1
+	/tmp/bwsched-rr resultreturn -f /tmp/bwsched-rr-forward.txt -d 1/2 -n 40
 
 # Control-plane smoke: start bwschedd on a random port and drive the
 # api/v1 wire end to end — cache miss/hit markers, the typed 422

@@ -30,6 +30,11 @@ type SubmitRequest struct {
 	// Quantize, when > 0, rounds rates to denominators dividing it,
 	// bounding every period at a small throughput loss.
 	Quantize int64 `json:"quantize,omitempty"`
+	// UniformReturn, when set (rational string), applies the same
+	// result-return time d to every link before solving (Section 9).
+	// Per-link values travel in the platform text's optional 5th column.
+	// Additive field: absent means forward-only, as before.
+	UniformReturn string `json:"uniform_return,omitempty"`
 }
 
 // SubmitResponse is the solved steady state: throughput, periods, and
@@ -56,6 +61,12 @@ type SubmitResponse struct {
 	// Deployment is the compact per-node schedule document
 	// (bwc.MarshalDeployment): ψ quantities and consuming periods.
 	Deployment json.RawMessage `json:"deployment"`
+	// ResultReturn marks a Section-9 platform (some link has d > 0);
+	// FoldedThroughput is then the rate the folded model (d merged into
+	// c) would reach — the gap to Throughput is the modeling error.
+	// Additive fields: omitted on forward-only platforms.
+	ResultReturn     bool   `json:"result_return,omitempty"`
+	FoldedThroughput string `json:"folded_throughput,omitempty"`
 }
 
 // SimulateRequest runs a platform's memoized schedule on the
@@ -70,6 +81,9 @@ type SimulateRequest struct {
 	// Analyze additionally replays the run's telemetry through the
 	// conformance analyzer and attaches the report.
 	Analyze bool `json:"analyze,omitempty"`
+	// UniformReturn applies the same result-return time d to every link
+	// before solving and simulating (additive; see SubmitRequest).
+	UniformReturn string `json:"uniform_return,omitempty"`
 }
 
 // SimulateResponse summarizes a completed simulation.
@@ -86,6 +100,10 @@ type SimulateResponse struct {
 	WindDown    string  `json:"wind_down"`
 	MaxBuffered int     `json:"max_buffered"`
 	Report      *Report `json:"report,omitempty"`
+	// ResultsReturned counts task results that reached the root; equal
+	// to Completed after drain on result-return platforms. Additive
+	// field: omitted (zero) on forward-only runs.
+	ResultsReturned int `json:"results_returned,omitempty"`
 }
 
 // AnalyzeRequest simulates a platform under an observer and replays the

@@ -400,9 +400,52 @@ func SimulateDemandDriven(t *Tree, opt DemandOptions) (*DemandRun, error) {
 	return kreaseck.Simulate(t, opt)
 }
 
+// PlatformWithResultReturn returns a copy of t carrying per-link
+// result-return times d (indexed by NodeID; the root entry must be
+// zero). The returned tree is a first-class platform: Solve,
+// BuildSchedule, Simulate, Execute, sessions and the wire formats all
+// model the upward result flow natively (Section 9).
+func PlatformWithResultReturn(t *Tree, d []Rational) (*Tree, error) {
+	return t.WithReturnTimes(d)
+}
+
+// PlatformWithUniformResultReturn is PlatformWithResultReturn with the
+// same d on every link.
+func PlatformWithUniformResultReturn(t *Tree, d Rational) (*Tree, error) {
+	return t.WithUniformReturnTime(d)
+}
+
+// FoldedThroughput is the Section 9 baseline: every link's return time
+// folded into its forward time (c' = c + d) and the platform solved
+// forward-only — what a scheduler that serializes the two flows on one
+// port pair would achieve. The gap to the separate-flows throughput
+// (Solve / Verify on the return platform itself) is the folded model's
+// error.
+func FoldedThroughput(t *Tree) (Rational, error) {
+	folded := t
+	for i := 0; i < t.Len(); i++ {
+		id := NodeID(i)
+		d := t.ReturnTime(id)
+		if id == t.Root() || d.IsZero() {
+			continue
+		}
+		var err error
+		folded, err = folded.WithCommTime(id, t.CommTime(id).Add(d))
+		if err != nil {
+			return rat.Zero, err
+		}
+	}
+	folded, err := folded.WithUniformReturnTime(rat.Zero)
+	if err != nil {
+		return rat.Zero, err
+	}
+	return bwfirst.Solve(folded).Throughput, nil
+}
+
 // WithResultReturn wraps a platform with per-link result-return times d
-// (indexed by NodeID; the root entry is ignored), enabling the Section 9
-// analysis.
+// (indexed by NodeID; the root entry is ignored) for the Section 9 LP
+// analysis. The returned ResultPlatform is the LP cross-check view;
+// PlatformWithResultReturn is the native pipeline entry point.
 func WithResultReturn(t *Tree, d []Rational) (ResultPlatform, error) {
 	return resultflow.NewPlatform(t, d)
 }
@@ -497,11 +540,28 @@ func PaperExampleTree() *Tree { return paperexample.Tree() }
 // reduction, exact LP) on t and the internal invariants of the BW-First
 // result; it returns the agreed throughput. WithObserver records the
 // BW-First and protocol runs it performs.
+//
+// On a result-return platform (Section 9) the bottom-up reduction and
+// the distributed protocol are forward-only oracles, so Verify instead
+// checks the generalized BW-First result's port invariants and its
+// feasibility against the exact separate-flows LP (greedy ≤ LP must
+// hold — the heuristic is feasible but not proven optimal with
+// returns), and returns the LP optimum.
 func Verify(t *Tree, opts ...Option) (Rational, error) {
 	sc := buildCfg(opts).obs
 	res := bwfirst.SolveObserved(t, sc)
 	if err := res.CheckInvariants(); err != nil {
 		return rat.Zero, err
+	}
+	if t.HasResultReturn() {
+		opt, _, err := lp.OptimalThroughput(t)
+		if err != nil {
+			return rat.Zero, err
+		}
+		if opt.Less(res.Throughput) {
+			return rat.Zero, errMismatch("LP (greedy above the exact optimum)", res.Throughput, opt)
+		}
+		return opt, nil
 	}
 	bu := bottomup.Solve(t)
 	if !bu.Throughput.Equal(res.Throughput) {

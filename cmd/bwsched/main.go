@@ -110,6 +110,8 @@ func run(args []string) (code int) {
 		err = cmdUpgrade(rest)
 	case "execute":
 		err = cmdExecute(rest)
+	case "resultreturn":
+		err = cmdResultReturn(rest)
 	case "makespan":
 		err = cmdMakespan(rest)
 	case "infinite":
@@ -190,6 +192,10 @@ commands:
              churn-hardened loop: seeded fleet churn, incremental spine re-solve,
              delta hot-swap, flap quarantine; exit 9 on retention collapse
   upgrade    -f platform.txt [-speedup 2] [-top 5]
+  resultreturn -f platform.txt [-d 1/2] [-n 80]
+             Section 9 end to end: separate-flows vs folded throughput, engine
+             run with result returns, analyzer verdict; exit 1 on folded-only
+             behavior
   execute    -f platform.txt -n 100 -scale 2ms [-metrics :8080]
   makespan   -f platform.txt -n 500 [-demand]
   obs        -f platform.txt [-periods 3] [-metrics -] [-trace-out t.json] [-log-out e.jsonl]

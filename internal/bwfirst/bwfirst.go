@@ -18,6 +18,24 @@
 // t_max = r_root + max{b_i | i ∈ children(root)}, an upper bound on what
 // the whole tree can consume under the single-port model; the optimal
 // throughput is t_max − θ_root.
+//
+// # Result-return generalization (Section 9)
+//
+// When the platform carries result-return times d_i
+// (tree.HasResultReturn), the procedure co-schedules both flows on the
+// same two single ports: a node's send port carries outgoing tasks AND
+// the results of every task its subtree consumed heading up (d_i per
+// task), its receive port carries incoming tasks AND the results
+// returning from its children (d_j per task delegated to child j). Each
+// node therefore keeps two port budgets, τ_send and τ_recv; a local task
+// costs (c_i recv, d_i send), a task delegated to child j costs
+// (c_j + d_i send, c_i + d_j recv), and children are visited in
+// increasing round-trip time c_j + d_j. With d ≡ 0 every extra term
+// vanishes and the procedure reduces exactly — value for value,
+// transaction for transaction — to Algorithm 1; that reduction is pinned
+// by tests. On return platforms the greedy is a feasible heuristic
+// cross-checked against the exact LP (internal/lp); on forward-only
+// platforms it remains the paper's optimal procedure.
 package bwfirst
 
 import (
@@ -61,8 +79,13 @@ type NodeState struct {
 	// SendRates[j] is η_j, the tasks per time unit sent to the j-th child
 	// (indexed like tree.Children(id), i.e. insertion order).
 	SendRates []rat.R
-	// TauLeft is the unused fraction of the node's send port.
+	// TauLeft is the unused fraction of the node's send port (which on
+	// result-return platforms also carries the subtree's results upward).
 	TauLeft rat.R
+	// TauRecvLeft is the unused fraction of the node's receive port
+	// (incoming tasks plus, on result-return platforms, the children's
+	// returning results).
+	TauRecvLeft rat.R
 }
 
 // Result is the outcome of running BW-First on a tree.
@@ -89,6 +112,11 @@ type Result struct {
 	pruned     []bool
 	recomputed int
 	reused     int
+
+	// hasRet caches tree.HasResultReturn: forward-only trees take the
+	// original Algorithm-1 path untouched, return trees the generalized
+	// two-budget path.
+	hasRet bool
 
 	// sc and txCtr carry the (possibly disabled) instrumentation of
 	// SolveObserved through the recursion.
@@ -138,8 +166,9 @@ func SolveObserved(t *tree.Tree, sc *obs.Scope) *Result {
 		return &Result{Tree: t, TMax: rat.Zero, Throughput: rat.Zero}
 	}
 	res := &Result{
-		Tree:  t,
-		Nodes: make([]NodeState, t.Len()),
+		Tree:   t,
+		Nodes:  make([]NodeState, t.Len()),
+		hasRet: t.HasResultReturn(),
 	}
 	root := t.Root()
 	// Virtual parent: t_max = r_root + max child bandwidth (Section 5,
@@ -169,6 +198,103 @@ func SolveObserved(t *tree.Tree, sc *obs.Scope) *Result {
 	return res
 }
 
+// ports holds the per-node generalized budgets and unit costs of one
+// visit: with d ≡ 0 its math reduces exactly to Algorithm 1's single τ.
+type ports struct {
+	hasRet     bool
+	ci, di     rat.R // c_i (recv per consumed task), d_i (send per result up)
+	tauS, tauR rat.R // remaining send / receive port time
+}
+
+func newPorts(t *tree.Tree, id tree.NodeID, hasRet bool) ports {
+	p := ports{hasRet: hasRet, tauS: rat.One, tauR: rat.One}
+	if t.Parent(id) != tree.None {
+		p.ci = t.CommTime(id)
+		if hasRet {
+			p.di = t.ReturnTime(id)
+		}
+	}
+	return p
+}
+
+// capLocal bounds the node's own compute rate by its ports: each local
+// task occupies c_i on the receive port and d_i on the send port.
+// Forward-only trees skip it — there λ ≤ b_i already implies the bound.
+func (p *ports) capLocal(alpha rat.R) rat.R {
+	if !p.hasRet {
+		return alpha
+	}
+	if p.ci.IsPos() {
+		alpha = rat.Min(alpha, p.tauR.Div(p.ci))
+	}
+	if p.di.IsPos() {
+		alpha = rat.Min(alpha, p.tauS.Div(p.di))
+	}
+	p.tauR = p.tauR.Sub(alpha.Mul(p.ci))
+	p.tauS = p.tauS.Sub(alpha.Mul(p.di))
+	return alpha
+}
+
+// childCosts returns the port time one task delegated to child c costs
+// this node: sendCost on the send port (task down + own result up),
+// recvCost on the receive port (task in + child's result back).
+func (p *ports) childCosts(t *tree.Tree, c tree.NodeID) (sendCost, recvCost rat.R) {
+	sendCost = t.CommTime(c)
+	if p.hasRet {
+		sendCost = sendCost.Add(p.di)
+		recvCost = p.ci.Add(t.ReturnTime(c))
+	}
+	return sendCost, recvCost
+}
+
+// propose computes the proposal β to a child with the given per-task
+// costs: the undelegated rate clipped to what both ports can carry.
+func (p *ports) propose(delta, sendCost, recvCost rat.R) rat.R {
+	beta := rat.Min(delta, p.tauS.Div(sendCost))
+	if p.hasRet && recvCost.IsPos() {
+		beta = rat.Min(beta, p.tauR.Div(recvCost))
+	}
+	return beta
+}
+
+// charge books an accepted child rate on both ports.
+func (p *ports) charge(accepted, sendCost, recvCost rat.R) {
+	p.tauS = p.tauS.Sub(accepted.Mul(sendCost))
+	if p.hasRet {
+		p.tauR = p.tauR.Sub(accepted.Mul(recvCost))
+	}
+}
+
+// exhausted reports whether no further proposal can be non-zero.
+func (p *ports) exhausted() bool {
+	if p.tauS.IsZero() {
+		return true
+	}
+	return p.hasRet && p.tauR.IsZero() && p.ci.IsPos()
+}
+
+// finish records the leftover budgets in the node state. Forward-only
+// trees never tracked τ_recv during the loop; its leftover is derived
+// from the consumed rate so invariant checks see one uniform accounting.
+func (p *ports) finish(st *NodeState) {
+	st.TauLeft = p.tauS
+	if p.hasRet {
+		st.TauRecvLeft = p.tauR
+	} else {
+		st.TauRecvLeft = rat.One.Sub(st.RecvRate.Mul(p.ci))
+	}
+}
+
+// order returns the bandwidth-centric visiting order: increasing c_j on
+// forward-only trees (Section 4), increasing round-trip c_j + d_j on
+// result-return trees.
+func childOrder(t *tree.Tree, id tree.NodeID, hasRet bool) []tree.NodeID {
+	if hasRet {
+		return t.ChildrenByRoundTrip(id)
+	}
+	return t.ChildrenByComm(id)
+}
+
 // visit executes Algorithm 1 at node id with proposal lambda and returns
 // the acknowledgment θ. span is the transaction that proposed to this
 // node; child transactions are parented under it.
@@ -180,9 +306,9 @@ func (r *Result) visit(id tree.NodeID, lambda rat.R, span obs.SpanID) rat.R {
 	st.SendRates = make([]rat.R, len(t.Children(id)))
 
 	// Keep as many tasks as possible for local computation.
-	st.Alpha = rat.Min(t.Rate(id), lambda)
+	p := newPorts(t, id, r.hasRet)
+	st.Alpha = p.capLocal(rat.Min(t.Rate(id), lambda))
 	delta := lambda.Sub(st.Alpha) // tasks still to delegate
-	tau := rat.One                // send-port time budget
 
 	// childPos maps a child to its position in the insertion-order slice
 	// so SendRates lines up with tree.Children.
@@ -192,12 +318,15 @@ func (r *Result) visit(id tree.NodeID, lambda rat.R, span obs.SpanID) rat.R {
 		pos[c] = j
 	}
 
-	for _, c := range t.ChildrenByComm(id) {
-		if delta.IsZero() || tau.IsZero() {
+	for _, c := range childOrder(t, id, r.hasRet) {
+		if delta.IsZero() || p.exhausted() {
 			break
 		}
-		b := t.Bandwidth(c)
-		beta := rat.Min(delta, tau.Mul(b))
+		sendCost, recvCost := p.childCosts(t, c)
+		beta := p.propose(delta, sendCost, recvCost)
+		if beta.IsZero() {
+			continue
+		}
 		txIdx := len(r.Transactions)
 		r.Transactions = append(r.Transactions, Transaction{Parent: id, Child: c, Beta: beta})
 		txSpan := r.sc.StartSpan("tx "+t.Name(id)+"→"+t.Name(c), "bwfirst", span)
@@ -208,11 +337,11 @@ func (r *Result) visit(id tree.NodeID, lambda rat.R, span obs.SpanID) rat.R {
 		accepted := beta.Sub(thetaC)
 		st.SendRates[pos[c]] = accepted
 		delta = delta.Sub(accepted)
-		tau = tau.Sub(accepted.Mul(t.CommTime(c)))
+		p.charge(accepted, sendCost, recvCost)
 	}
-	st.TauLeft = tau
 	st.Theta = delta
 	st.RecvRate = lambda.Sub(delta)
+	p.finish(st)
 	return delta
 }
 
@@ -227,9 +356,11 @@ func (s NodeState) ConsumeRate() rat.R {
 }
 
 // CheckInvariants verifies, for every node, the steady-state conservation
-// law (received = computed + forwarded), port feasibility (Σ c_j·η_j ≤ 1,
-// c·η_{-1} ≤ 1), and rate feasibility (α ≤ r). It returns nil when the
-// result is a feasible optimal steady state description.
+// law (received = computed + forwarded), port feasibility — send port
+// Σ c_j·η_j + d_i·η_{-1} ≤ 1 and receive port c_i·η_{-1} + Σ d_j·η_j ≤ 1,
+// the Section-9 generalized single-port constraints, which reduce to the
+// paper's forward-only ones when d ≡ 0 — and rate feasibility (α ≤ r).
+// It returns nil when the result is a feasible steady state description.
 func (r *Result) CheckInvariants() error {
 	t := r.Tree
 	for id := 0; id < t.Len(); id++ {
@@ -248,12 +379,18 @@ func (r *Result) CheckInvariants() error {
 			return fmt.Errorf("node %s: conservation law violated: recv %s != consume %s",
 				t.Name(nid), st.RecvRate, st.ConsumeRate())
 		}
-		spent := rat.Zero
+		di, ci := rat.Zero, rat.Zero
+		if nid != t.Root() {
+			di, ci = t.ReturnTime(nid), t.CommTime(nid)
+		}
+		spent := di.Mul(st.RecvRate) // the subtree's results heading up
+		spentRecv := ci.Mul(st.RecvRate)
 		for j, c := range t.Children(nid) {
 			if st.SendRates[j].IsNeg() {
 				return fmt.Errorf("node %s: negative send rate to %s", t.Name(nid), t.Name(c))
 			}
 			spent = spent.Add(st.SendRates[j].Mul(t.CommTime(c)))
+			spentRecv = spentRecv.Add(st.SendRates[j].Mul(t.ReturnTime(c)))
 		}
 		if rat.One.Less(spent) {
 			return fmt.Errorf("node %s: send port oversubscribed: %s > 1", t.Name(nid), spent)
@@ -261,10 +398,11 @@ func (r *Result) CheckInvariants() error {
 		if !spent.Add(st.TauLeft).Equal(rat.One) {
 			return fmt.Errorf("node %s: τ accounting broken: %s + %s != 1", t.Name(nid), spent, st.TauLeft)
 		}
-		if nid != t.Root() {
-			if rat.One.Less(st.RecvRate.Mul(t.CommTime(nid))) {
-				return fmt.Errorf("node %s: receive port oversubscribed", t.Name(nid))
-			}
+		if rat.One.Less(spentRecv) {
+			return fmt.Errorf("node %s: receive port oversubscribed: %s > 1", t.Name(nid), spentRecv)
+		}
+		if !spentRecv.Add(st.TauRecvLeft).Equal(rat.One) {
+			return fmt.Errorf("node %s: τ_recv accounting broken: %s + %s != 1", t.Name(nid), spentRecv, st.TauRecvLeft)
 		}
 	}
 	// Throughput equals the total computed rate.

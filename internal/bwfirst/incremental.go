@@ -77,6 +77,7 @@ func SolveIncremental(prev *Result, t *tree.Tree, dirty, pruned []tree.NodeID) (
 		Tree:   t,
 		Nodes:  make([]NodeState, t.Len()),
 		pruned: inc.pruned,
+		hasRet: t.HasResultReturn(),
 	}
 	res.TMax = t.Rate(root).Add(inc.maxLiveChildBandwidth(root))
 	inc.res = res
@@ -173,9 +174,9 @@ func (inc *incremental) visit(id tree.NodeID, lambda rat.R) rat.R {
 	st.SendRates = make([]rat.R, len(t.Children(id)))
 	inc.res.recomputed++
 
-	st.Alpha = rat.Min(t.Rate(id), lambda)
+	p := newPorts(t, id, inc.res.hasRet)
+	st.Alpha = p.capLocal(rat.Min(t.Rate(id), lambda))
 	delta := lambda.Sub(st.Alpha)
-	tau := rat.One
 
 	children := t.Children(id)
 	pos := make(map[tree.NodeID]int, len(children))
@@ -183,15 +184,18 @@ func (inc *incremental) visit(id tree.NodeID, lambda rat.R) rat.R {
 		pos[c] = j
 	}
 
-	for _, c := range t.ChildrenByComm(id) {
-		if delta.IsZero() || tau.IsZero() {
+	for _, c := range childOrder(t, id, inc.res.hasRet) {
+		if delta.IsZero() || p.exhausted() {
 			break
 		}
 		if inc.pruned[c] {
 			continue
 		}
-		b := t.Bandwidth(c)
-		beta := rat.Min(delta, tau.Mul(b))
+		sendCost, recvCost := p.childCosts(t, c)
+		beta := p.propose(delta, sendCost, recvCost)
+		if beta.IsZero() {
+			continue
+		}
 		var thetaC rat.R
 		if inc.reusable(c, beta) {
 			inc.copySubtree(c)
@@ -206,10 +210,10 @@ func (inc *incremental) visit(id tree.NodeID, lambda rat.R) rat.R {
 		accepted := beta.Sub(thetaC)
 		st.SendRates[pos[c]] = accepted
 		delta = delta.Sub(accepted)
-		tau = tau.Sub(accepted.Mul(t.CommTime(c)))
+		p.charge(accepted, sendCost, recvCost)
 	}
-	st.TauLeft = tau
 	st.Theta = delta
 	st.RecvRate = lambda.Sub(delta)
+	p.finish(st)
 	return delta
 }

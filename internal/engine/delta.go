@@ -51,6 +51,7 @@ func (c *Core) InstallDelta(s *sched.Schedule, changed []tree.NodeID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cur.Store(s)
+	c.hasRet.Store(s.ResultReturn || s.Tree.HasResultReturn())
 	reset := make([]bool, len(c.nodes))
 	for _, id := range changed {
 		reset[id] = true

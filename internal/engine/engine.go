@@ -103,6 +103,22 @@ func (NopHooks) SendFinished(tree.NodeID, tree.NodeID, Task)       {}
 func (NopHooks) BufferChanged(tree.NodeID, int)                    {}
 func (NopHooks) TaskDropped(tree.NodeID, Task)                     {}
 
+// ResultHooks is the optional extension of Hooks for result-return
+// platforms (Section 9). A Hooks implementation that also implements it
+// receives the upward result flow's transitions; detected by type
+// assertion so forward-only backends need not change. Zero-cost result
+// hops (d = 0) are forwarded instantly and fire no hooks.
+type ResultHooks interface {
+	// ResultSendStarted fires when n's send port claims a result transfer
+	// to its parent; d is the return time the current physics charges.
+	ResultSendStarted(n, parent tree.NodeID, tk Task, d rat.R)
+	// ResultSendFinished fires when the result transfer completed, before
+	// the result is handed to the parent.
+	ResultSendFinished(n, parent tree.NodeID, tk Task)
+	// ResultHome fires when a task's result reaches the root.
+	ResultHome(tk Task)
+}
+
 // outgoing pairs a task with the child (insertion-order index) it is
 // destined for.
 type outgoing struct {
@@ -122,6 +138,15 @@ type node struct {
 	sending   bool
 	held      int
 	heldMax   int
+
+	// Result-return state (unused on forward-only platforms). resultQ
+	// holds finished results waiting for the send port's next free
+	// moment to head up; recvBusy marks the receive port occupied by an
+	// incoming transfer (a task from the parent or a result from a
+	// child) — explicit only on result-return platforms, where the port
+	// is genuinely contended by two flows.
+	resultQ  []Task
+	recvBusy bool
 }
 
 // Config assembles a core.
@@ -159,13 +184,18 @@ type Core struct {
 	clock     Clock
 	transport Transport
 	hooks     Hooks
-	nopHooks  bool // hooks is NopHooks: skip the dispatch entirely
+	resHooks  ResultHooks // nil unless hooks implements ResultHooks
+	nopHooks  bool        // hooks is NopHooks: skip the dispatch entirely
 	rec       *Recorder
 	best      bool
+	// hasRet gates all result paths; atomic because Quiescent reads it
+	// lock-free from monitor goroutines while Install writes it mid-swap.
+	hasRet atomic.Bool
 
-	released  atomic.Int64
-	completed atomic.Int64
-	dropped   atomic.Int64
+	released    atomic.Int64
+	completed   atomic.Int64
+	dropped     atomic.Int64
+	resultsHome atomic.Int64
 }
 
 // New assembles a core over the schedule's platform. The schedule and
@@ -197,6 +227,8 @@ func New(cfg Config) *Core {
 	if _, nop := c.hooks.(NopHooks); nop {
 		c.nopHooks = true
 	}
+	c.resHooks, _ = c.hooks.(ResultHooks)
+	c.hasRet.Store(cfg.Schedule.ResultReturn || t.HasResultReturn())
 	c.transport = cfg.Transport
 	if c.transport == nil {
 		c.transport = localTransport{c}
@@ -242,11 +274,21 @@ func (c *Core) Completed() int64 { return c.completed.Load() }
 // Dropped counts tasks best-effort routing had to abandon.
 func (c *Core) Dropped() int64 { return c.dropped.Load() }
 
+// ResultsHome counts task results that reached the root (tasks computed
+// at the root count immediately). Zero on forward-only platforms.
+func (c *Core) ResultsHome() int64 { return c.resultsHome.Load() }
+
 // Quiescent reports whether every released task has been accounted for
 // (computed or dropped) — the drain condition a hot-swap must wait for
-// so the single-port discipline never sees a mixed period.
+// so the single-port discipline never sees a mixed period. On
+// result-return platforms the condition extends to the upward flow:
+// every computed task's result must be home, so no result transfer is
+// in flight across the swap either.
 func (c *Core) Quiescent() bool {
-	return c.completed.Load()+c.dropped.Load() >= c.released.Load()
+	if c.completed.Load()+c.dropped.Load() < c.released.Load() {
+		return false
+	}
+	return !c.hasRet.Load() || c.resultsHome.Load() >= c.completed.Load()
 }
 
 // Install atomically re-points every node at the schedule's patterns and
@@ -258,6 +300,7 @@ func (c *Core) Install(s *sched.Schedule) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cur.Store(s)
+	c.hasRet.Store(s.ResultReturn || s.Tree.HasResultReturn())
 	for i := range c.nodes {
 		n := &c.nodes[i]
 		n.pattern = s.Nodes[i].Pattern
@@ -415,9 +458,15 @@ func (c *Core) kickCompute(ns *node) {
 		if c.rec != nil {
 			c.rec.compute(ns.id)
 		}
+		// completed increments before the result enters the upward flow, so
+		// Quiescent can never observe resultsHome caught up to a completed
+		// count that is about to grow.
 		c.completed.Add(1)
 		c.mu.Lock()
 		ns.computing = false
+		if c.hasRet.Load() {
+			c.resultReady(ns.id, tk)
+		}
 		c.kickCompute(ns)
 		c.mu.Unlock()
 	})
@@ -425,8 +474,14 @@ func (c *Core) kickCompute(ns *node) {
 
 // kickSend starts the next transfer if the send port is free and the
 // send queue is non-empty (single-port: one outgoing transfer at a
-// time, FIFO). Called with the lock held.
+// time, FIFO). Called with the lock held. On result-return platforms it
+// dispatches to the generalized port arbiter instead; the forward-only
+// path below is untouched so forward runs stay byte-identical.
 func (c *Core) kickSend(ns *node) {
+	if c.hasRet.Load() {
+		c.kickSendRet(ns)
+		return
+	}
 	if ns.sending || len(ns.sendQ) == 0 {
 		return
 	}
@@ -455,6 +510,127 @@ func (c *Core) kickSend(ns *node) {
 		c.kickSend(ns)
 		c.mu.Unlock()
 	})
+}
+
+// kickSendRet is the send-port arbiter on result-return platforms: both
+// downward tasks and upward results share the node's single send port,
+// and the receiving end's single port must be free too (on the forward
+// path the receiver is implicitly free — only its parent ever writes to
+// it — so this check only exists here). A transfer claims the sender's
+// send port and the receiver's receive port atomically under the core
+// lock; a sender that cannot claim both holds nothing, so the discipline
+// is deadlock-free, and every completion kicks the freed ports' waiters.
+// Task transfers have priority; a result may claim the port only when no
+// task transfer can start (empty queue, or head-of-line task blocked on
+// its receiver), filling port time that would otherwise idle. Called
+// with the lock held.
+func (c *Core) kickSendRet(ns *node) {
+	if ns.sending {
+		return
+	}
+	if len(ns.sendQ) > 0 {
+		out := ns.sendQ[0]
+		child := c.t.Children(ns.id)[out.child]
+		cn := &c.nodes[child]
+		if !cn.recvBusy {
+			ns.sendQ = ns.sendQ[1:]
+			ct := c.phys.Load().CommTime(child)
+			ns.sending = true
+			cn.recvBusy = true
+			if c.rec != nil {
+				c.rec.send(ns.id, out.child)
+			}
+			c.sampleBuffer(ns)
+			if !c.nopHooks {
+				c.hooks.SendStarted(ns.id, child, out.tk, ct)
+			}
+			c.clock.After(ct, func() {
+				if !c.nopHooks {
+					c.hooks.SendFinished(ns.id, child, out.tk)
+				}
+				c.transport.Deliver(child, out.tk)
+				c.mu.Lock()
+				ns.sending = false
+				cn.recvBusy = false
+				c.kickSend(ns)
+				c.kickRecvWaiters(child)
+				c.mu.Unlock()
+			})
+			return
+		}
+		// Head-of-line task is blocked on its receiver: fall through and
+		// let a result use the port time in the meantime.
+	}
+	if len(ns.resultQ) == 0 {
+		return
+	}
+	parent := c.t.Parent(ns.id)
+	pn := &c.nodes[parent]
+	if pn.recvBusy {
+		return
+	}
+	tk := ns.resultQ[0]
+	ns.resultQ = ns.resultQ[1:]
+	d := c.phys.Load().ReturnTime(ns.id)
+	ns.sending = true
+	pn.recvBusy = true
+	if c.rec != nil {
+		c.rec.resultUp(ns.id)
+	}
+	if c.resHooks != nil {
+		c.resHooks.ResultSendStarted(ns.id, parent, tk, d)
+	}
+	c.clock.After(d, func() {
+		if c.resHooks != nil {
+			c.resHooks.ResultSendFinished(ns.id, parent, tk)
+		}
+		c.mu.Lock()
+		ns.sending = false
+		pn.recvBusy = false
+		c.resultReady(parent, tk)
+		c.kickSend(ns)
+		c.kickRecvWaiters(parent)
+		c.mu.Unlock()
+	})
+}
+
+// resultReady propagates tk's result upward from node n: hops whose
+// return time is zero forward instantly (Section 9's free-returns
+// degenerate case — no port time, no hooks), the first node charging a
+// positive d queues the result for its send port, and a result reaching
+// the root is home. Called with the lock held, both when a computation
+// finishes at n and when a result transfer lands at n.
+func (c *Core) resultReady(n tree.NodeID, tk Task) {
+	phys := c.phys.Load()
+	for n != c.t.Root() {
+		if !phys.ReturnTime(n).IsZero() {
+			ns := &c.nodes[n]
+			ns.resultQ = append(ns.resultQ, tk)
+			c.kickSend(ns)
+			return
+		}
+		if c.rec != nil {
+			c.rec.resultUp(n)
+		}
+		n = c.t.Parent(n)
+	}
+	c.resultsHome.Add(1)
+	if c.resHooks != nil {
+		c.resHooks.ResultHome(tk)
+	}
+}
+
+// kickRecvWaiters re-kicks every sender that may have been blocked on
+// x's receive port: x's parent (task transfers down to x) first, then
+// x's children in insertion order (result transfers up to x). Called
+// with the lock held, after x's receive port freed.
+func (c *Core) kickRecvWaiters(x tree.NodeID) {
+	if p := c.t.Parent(x); p != tree.None {
+		c.kickSend(&c.nodes[p])
+	}
+	for _, ch := range c.t.Children(x) {
+		c.kickSend(&c.nodes[ch])
+	}
 }
 
 // sampleBuffer publishes the node's buffered-task count when it changed.

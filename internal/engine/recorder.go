@@ -24,6 +24,11 @@ type Recorder struct {
 	routes   [][]sched.Dest
 	sends    [][]int
 	computes []int64
+	// results counts upward result departures per node (transfers started
+	// plus zero-cost teleport hops). Counts, not sequences: results from
+	// different children race on wall-clock arrival order, so only the
+	// totals are backend-deterministic. All zero on forward-only runs.
+	results []int64
 }
 
 // NewRecorder returns an empty recorder; the core sizes it at New.
@@ -35,6 +40,7 @@ func (r *Recorder) init(n int) {
 	r.routes = make([][]sched.Dest, n)
 	r.sends = make([][]int, n)
 	r.computes = make([]int64, n)
+	r.results = make([]int64, n)
 }
 
 func (r *Recorder) route(n tree.NodeID, d sched.Dest) {
@@ -55,16 +61,35 @@ func (r *Recorder) compute(n tree.NodeID) {
 	r.mu.Unlock()
 }
 
+func (r *Recorder) resultUp(n tree.NodeID) {
+	r.mu.Lock()
+	r.results[n]++
+	r.mu.Unlock()
+}
+
 // Fingerprint renders the full decision streams canonically, one line
 // per node. Byte-equal fingerprints mean two runs made identical
-// per-node event sequences.
+// per-node event sequences. The results column appears only when the
+// run recorded any upward result flow, so forward-only fingerprints are
+// byte-identical to those of builds that predate result returns.
 func (r *Recorder) Fingerprint() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	anyResults := false
+	for _, v := range r.results {
+		if v != 0 {
+			anyResults = true
+			break
+		}
+	}
 	var b strings.Builder
 	for n := range r.routes {
-		fmt.Fprintf(&b, "node %d: routes=%v sends=%v computes=%d\n",
+		fmt.Fprintf(&b, "node %d: routes=%v sends=%v computes=%d",
 			n, r.routes[n], r.sends[n], r.computes[n])
+		if anyResults {
+			fmt.Fprintf(&b, " results=%d", r.results[n])
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -81,4 +106,12 @@ func (r *Recorder) Routes(n tree.NodeID) []sched.Dest {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]sched.Dest(nil), r.routes[n]...)
+}
+
+// Results returns how many results departed node n toward its parent
+// (transfers plus zero-cost hops). Zero on forward-only runs.
+func (r *Recorder) Results(n tree.NodeID) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.results[n]
 }

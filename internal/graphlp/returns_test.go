@@ -1,0 +1,93 @@
+package graphlp
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwc/internal/graph"
+	"bwc/internal/rat"
+)
+
+// TestReturnsCounterExample reproduces Section 9's star on the graph
+// LP: two workers behind a switch with c = 1/2, w = 1, d = 1/2 sustain
+// 2 tasks/unit with separate flows. The same star with d folded into
+// the forward links (c = 1) reaches only 1.
+func TestReturnsCounterExample(t *testing.T) {
+	g := graph.NewBuilder().
+		Switch("m").
+		Node("w1", rat.One).
+		Node("w2", rat.One).
+		Link("m", "w1", rat.New(1, 2)).
+		Link("m", "w2", rat.New(1, 2)).
+		Master("m").
+		MustBuild()
+	opt, err := OptimalThroughputWithReturns(g, rat.New(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Equal(rat.Two) {
+		t.Fatalf("separate-flows optimum %s, want 2", opt)
+	}
+
+	folded := graph.NewBuilder().
+		Switch("m").
+		Node("w1", rat.One).
+		Node("w2", rat.One).
+		Link("m", "w1", rat.One).
+		Link("m", "w2", rat.One).
+		Master("m").
+		MustBuild()
+	foldedOpt, err := OptimalThroughput(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !foldedOpt.Equal(rat.One) {
+		t.Fatalf("folded optimum %s, want 1", foldedOpt)
+	}
+}
+
+// TestZeroReturnsMatchForwardLP pins the graph-layer face of the
+// zero-return invariant: with d = 0 the generalized formulation's
+// optimum equals the forward-only LP's on random connected topologies.
+func TestZeroReturnsMatchForwardLP(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(r, 10, 6, 0.2)
+		fwd, err := OptimalThroughput(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ret, err := OptimalThroughputWithReturns(g, rat.Zero)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !fwd.Equal(ret) {
+			t.Fatalf("seed %d: zero-return optimum %s != forward optimum %s", seed, ret, fwd)
+		}
+	}
+}
+
+// TestReturnsNeverAboveForward: result flows consume port time, so the
+// generalized optimum can never exceed the forward-only optimum, and
+// must weakly decrease as d grows.
+func TestReturnsNeverAboveForward(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(r, 9, 5, 0.3)
+		fwd, err := OptimalThroughput(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prev := fwd
+		for _, d := range []rat.R{rat.New(1, 8), rat.New(1, 2), rat.One} {
+			opt, err := OptimalThroughputWithReturns(g, d)
+			if err != nil {
+				t.Fatalf("seed %d d=%s: %v", seed, d, err)
+			}
+			if prev.Less(opt) {
+				t.Fatalf("seed %d: optimum rose from %s to %s as d grew to %s", seed, prev, opt, d)
+			}
+			prev = opt
+		}
+	}
+}

@@ -19,6 +19,17 @@ import (
 // of the general-graph LP of Banino et al. [2]. The receive-port
 // constraints c_{i,c}·S_c ≤ 1 are implied by the send-port rows (all terms
 // are non-negative), so they are omitted.
+//
+// When the platform carries result-return times d (tree.HasResultReturn),
+// the Section-9 separate-flows generalization is built instead: for every
+// node i,
+//
+//	send port:    Σ_{c ∈ children(i)} c_c·S_c + d_i·S_i ≤ 1
+//	receive port: c_i·S_i + Σ_{c ∈ children(i)} d_c·S_c ≤ 1
+//
+// which reduces to the forward-only rows when d ≡ 0 (the receive rows
+// again become implied and are omitted, keeping the problem — and the
+// simplex path through it — identical to the historical formulation).
 func Formulate(t *tree.Tree) Problem {
 	n := t.Len()
 	p := Problem{C: make([]rat.R, n)}
@@ -31,6 +42,10 @@ func Formulate(t *tree.Tree) Problem {
 		row[i] = rat.One
 		p.A = append(p.A, row)
 		p.B = append(p.B, t.Rate(tree.NodeID(i)))
+	}
+	if t.HasResultReturn() {
+		addPortRows(t, &p)
+		return p
 	}
 	// Send-port rows: coefficient of α_j in node i's row is c_{i,child}
 	// for the child whose subtree contains j.
@@ -52,6 +67,61 @@ func Formulate(t *tree.Tree) Problem {
 		p.B = append(p.B, rat.One)
 	}
 	return p
+}
+
+// addPortRows appends the generalized send- and receive-port rows of the
+// Section-9 separate-flows model (all-zero rows are skipped).
+func addPortRows(t *tree.Tree, p *Problem) {
+	n := t.Len()
+	addSubtree := func(row []rat.R, root tree.NodeID, coeff rat.R) {
+		if coeff.IsZero() {
+			return
+		}
+		t.Walk(root, func(j tree.NodeID) bool {
+			row[j] = row[j].Add(coeff)
+			return true
+		})
+	}
+	allZero := func(row []rat.R) bool {
+		for _, v := range row {
+			if !v.IsZero() {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < n; i++ {
+		id := tree.NodeID(i)
+		children := t.Children(id)
+		isRoot := id == t.Root()
+
+		// Send port: tasks down each child link + own results up.
+		send := make([]rat.R, n)
+		for _, c := range children {
+			addSubtree(send, c, t.CommTime(c))
+		}
+		if !isRoot {
+			addSubtree(send, id, t.ReturnTime(id))
+		}
+		if !allZero(send) {
+			p.A = append(p.A, send)
+			p.B = append(p.B, rat.One)
+		}
+
+		// Receive port: tasks in from the parent + results up from
+		// children.
+		recv := make([]rat.R, n)
+		if !isRoot {
+			addSubtree(recv, id, t.CommTime(id))
+		}
+		for _, c := range children {
+			addSubtree(recv, c, t.ReturnTime(c))
+		}
+		if !allZero(recv) {
+			p.A = append(p.A, recv)
+			p.B = append(p.B, rat.One)
+		}
+	}
 }
 
 // OptimalThroughput solves the steady-state LP for t and returns the

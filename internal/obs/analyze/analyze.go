@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"bwc/internal/bwfirst"
 	"bwc/internal/obs"
 	"bwc/internal/rat"
 	"bwc/internal/sched"
@@ -108,6 +109,7 @@ func Analyze(ev *Evidence, opt Options) *HealthReport {
 	rep.add(a.idleWhileBacklogged())
 	rep.add(a.computeLatency())
 	rep.add(a.taskConservation())
+	rep.add(a.resultReturn())
 	return rep
 }
 
@@ -787,6 +789,170 @@ func (a *analysis) taskConservation() Check {
 	}
 	c.Verdict = Pass
 	return c
+}
+
+// resultReturn verifies the upward flow of a Section-9 run along three
+// axes: result conservation (every computed task's result reached the
+// root, recovered from counters), upward port utilization (each node's
+// result traffic stays at its planned ReturnRate·d share of the send
+// port without starving), and folded-model-error detection — when the
+// separate-flows schedule plans a throughput strictly above what the
+// folded model (d_i merged into c_i on one serialized port pair) could
+// reach, the measured completion rate must actually exceed the folded
+// bound, proving the engine overlapped the two flows rather than
+// serializing them. SKIPs on forward-only runs.
+func (a *analysis) resultReturn() Check {
+	c := Check{Name: "result-return"}
+	if a.s == nil || !a.s.ResultReturn {
+		c.Verdict, c.Detail = Skip, "forward-only run (no result returns scheduled)"
+		return c
+	}
+	failed := 0
+
+	// Result conservation from counters (either backend's).
+	done, doneOK := a.counterValue("bwc_sim_tasks_completed_total")
+	ret, retOK := a.counterValue("bwc_sim_results_returned_total")
+	if !retOK {
+		ret, retOK = a.counterValue("bwc_runtime_results_returned_total")
+	}
+	if doneOK && retOK && done != ret {
+		failed++
+		c.Evidence = append(c.Evidence, fmt.Sprintf(
+			"conservation: %d tasks completed but %d results returned", int64(done), int64(ret)))
+	}
+
+	// Upward port utilization per node: result transfers to the parent
+	// share the node's single send port with task transfers; their busy
+	// fraction must track the plan η_ret·d (over-driven ⇒ stale schedule,
+	// absent ⇒ results not flowing).
+	links := 0
+	if a.haveSim {
+		end := a.analysisEnd()
+		for i := range a.s.Nodes {
+			ns := &a.s.Nodes[i]
+			id := ns.Node
+			if !ns.Active || !ns.ReturnRate.IsPos() || id == a.t.Root() {
+				continue
+			}
+			d := a.t.ReturnTime(id)
+			if !d.IsPos() {
+				continue // free returns never touch the port
+			}
+			links++
+			parent := a.t.Parent(id)
+			sps := a.nodes[id].sendTo[parent]
+			up := a.t.Name(id) + "→" + a.t.Name(parent)
+			if len(sps) == 0 {
+				if len(a.nodes[id].compute) > 0 || countSubtreeComputes(a, id) > 0 {
+					failed++
+					c.Evidence = append(c.Evidence, fmt.Sprintf(
+						"%s: results planned at η=%s but none recorded", up, ns.ReturnRate))
+				}
+				continue
+			}
+			busy := rat.Zero
+			for _, sp := range sps {
+				e := rat.Min(sp.End, end)
+				if sp.Start.Less(e) {
+					busy = busy.Add(e.Sub(sp.Start))
+				}
+			}
+			util := busy.Div(end).Float64()
+			planned := ns.ReturnRate.Mul(d).Float64()
+			if util > planned*(1+a.opt.UtilTolerance) {
+				failed++
+				c.Evidence = append(c.Evidence, fmt.Sprintf(
+					"%s: upward busy %.3f exceeds planned η·d %.3f", up, util, planned))
+			}
+		}
+	}
+
+	// Folded-model-error detection: measure the platform-wide completion
+	// rate over tree-period windows and compare it with the folded model's
+	// optimum when the plan claims an advantage.
+	foldedNote := ""
+	if a.haveSim && a.s.Res != nil {
+		folded := foldedThroughput(a.t)
+		planned := a.s.Res.Throughput
+		if folded.Less(planned) {
+			period := rat.FromBigInt(a.s.TreePeriod())
+			L := a.fullWindows(period)
+			if L > 0 {
+				var ends []rat.R
+				for i := range a.nodes {
+					ends = append(ends, spanEnds(a.nodes[i].compute)...)
+				}
+				sort.Slice(ends, func(i, j int) bool { return ends[i].Less(ends[j]) })
+				counts := windowCounts(ends, period, L)
+				best := int64(0)
+				for _, n := range counts {
+					if n > best {
+						best = n
+					}
+				}
+				achieved := rat.FromInt(best).Div(period)
+				foldedNote = fmt.Sprintf("; separate-flows rate %s > folded %s confirmed at %s",
+					planned, folded, achieved)
+				if !folded.Less(achieved) {
+					failed++
+					foldedNote = ""
+					c.Evidence = append(c.Evidence, fmt.Sprintf(
+						"folded-model error: plan %s beats folded bound %s but best window rate is only %s — the run serialized the flows",
+						planned, folded, achieved))
+				}
+			}
+		}
+	}
+
+	if failed > 0 {
+		c.Verdict = Fail
+		c.Detail = fmt.Sprintf("%d result-return violations", failed)
+		return c
+	}
+	c.Verdict = Pass
+	switch {
+	case doneOK && retOK:
+		c.Detail = fmt.Sprintf("%d results home for %d completions over %d upward links%s",
+			int64(ret), int64(done), links, foldedNote)
+	default:
+		c.Detail = fmt.Sprintf("%d upward links at plan%s", links, foldedNote)
+	}
+	return c
+}
+
+// countSubtreeComputes counts compute spans recorded anywhere in id's
+// subtree — a node relaying its children's results upward has upward
+// traffic even when it computes nothing itself.
+func countSubtreeComputes(a *analysis, id tree.NodeID) int {
+	n := len(a.nodes[id].compute)
+	for _, ch := range a.t.Children(id) {
+		n += countSubtreeComputes(a, ch)
+	}
+	return n
+}
+
+// foldedThroughput is the folded model's optimum: every d_i merged into
+// the forward link time c_i, then solved forward-only (the Section-9
+// baseline the separate-flows schedule is measured against).
+func foldedThroughput(t *tree.Tree) rat.R {
+	folded := t
+	for i := 0; i < t.Len(); i++ {
+		id := tree.NodeID(i)
+		d := t.ReturnTime(id)
+		if id == t.Root() || d.IsZero() {
+			continue
+		}
+		var err error
+		folded, err = folded.WithCommTime(id, t.CommTime(id).Add(d))
+		if err != nil {
+			return rat.Zero
+		}
+	}
+	folded, err := folded.WithUniformReturnTime(rat.Zero)
+	if err != nil {
+		return rat.Zero
+	}
+	return bwfirst.Solve(folded).Throughput
 }
 
 func (a *analysis) counterValue(name string) (float64, bool) {

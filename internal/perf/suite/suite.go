@@ -182,6 +182,35 @@ func Default() *perf.Suite {
 		}
 	}})
 
+	// ResultReturnSolve measures the generalized greedy procedure on a
+	// Section-9 platform: the 64-node uniform fixture with a uniform
+	// return cost, so every negotiation runs the two-budget (send +
+	// receive port) path. The paired timing against the forward-only
+	// solve on the same tree reports the generalization's overhead —
+	// the price every return platform pays over Algorithm 1.
+	s.Register(perf.Bench{Name: "ResultReturnSolve", Short: true, Fn: func(b *testing.B) {
+		fwd := benchfix.Uniform64()
+		ret, err := fwd.WithUniformReturnTime(rat.New(1, 3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tFwd, tRet time.Duration
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			bwfirst.Solve(fwd)
+			t1 := time.Now()
+			bwfirst.Solve(ret)
+			t2 := time.Now()
+			tFwd += t1.Sub(t0)
+			tRet += t2.Sub(t1)
+		}
+		if tFwd > 0 {
+			b.ReportMetric(100*float64(tRet-tFwd)/float64(tFwd), "overhead-pct")
+		}
+	}})
+
 	// DistributedSolve is the E9 protocol-cost point at n=100: one full
 	// bandwidth-centric negotiation wave over a compute-limited platform.
 	s.Register(perf.Bench{Name: "DistributedSolve", Fn: func(b *testing.B) {
@@ -252,6 +281,19 @@ func Default() *perf.Suite {
 			return 0, false
 		}
 		v, ok := cr.Metrics["speedup"]
+		return v, ok
+	})
+	// return_solve_overhead_pct is ResultReturnSolve's paired ratio: how
+	// much slower the two-budget greedy runs than Algorithm 1 on the same
+	// 64-node tree. Recorded on the trajectory (ungated — the absolute
+	// cost is microseconds) so a super-linear regression in the
+	// generalized path is visible PR over PR.
+	s.Derive("return_solve_overhead_pct", func(r map[string]perf.Result) (float64, bool) {
+		rr, ok := r["ResultReturnSolve"]
+		if !ok {
+			return 0, false
+		}
+		v, ok := rr.Metrics["overhead-pct"]
 		return v, ok
 	})
 	return s

@@ -23,6 +23,13 @@
 // Experiment E10 reproduces the paper's 3-node counter-example: with
 // c = d = 1/2 and unit-speed children the true optimum is 2 tasks per time
 // unit, while the folded model (c' = c + d = 1) yields only 1.
+//
+// Since the result-return model became a native part of the platform
+// tree (tree.ReturnTime) the package is a thin shim: Formulate delegates
+// to the generalized internal/lp formulation on the return-annotated
+// tree, and the package survives as the historical entry point and as an
+// independent cross-check harness (LP optimum vs the generalized
+// BW-First greedy) used by the E10 tests.
 package resultflow
 
 import (
@@ -68,72 +75,20 @@ func UniformResult(t *tree.Tree, d rat.R) (Platform, error) {
 	return NewPlatform(t, rs)
 }
 
-// Formulate builds the separate-flows steady-state LP.
-func (p Platform) Formulate() lp.Problem {
-	t := p.T
-	n := t.Len()
-	prob := lp.Problem{C: make([]rat.R, n)}
-	for i := 0; i < n; i++ {
-		prob.C[i] = rat.One
-	}
-	// Rate bounds.
-	for i := 0; i < n; i++ {
-		row := make([]rat.R, n)
-		row[i] = rat.One
-		prob.A = append(prob.A, row)
-		prob.B = append(prob.B, t.Rate(tree.NodeID(i)))
-	}
-	addSubtree := func(row []rat.R, root tree.NodeID, coeff rat.R) {
-		if coeff.IsZero() {
-			return
-		}
-		t.Walk(root, func(j tree.NodeID) bool {
-			row[j] = row[j].Add(coeff)
-			return true
-		})
-	}
-	for i := 0; i < n; i++ {
-		id := tree.NodeID(i)
-		children := t.Children(id)
-		isRoot := id == t.Root()
-
-		// Send port: tasks down each child link + own results up.
-		send := make([]rat.R, n)
-		for _, c := range children {
-			addSubtree(send, c, t.CommTime(c))
-		}
-		if !isRoot {
-			addSubtree(send, id, p.Result[id])
-		}
-		if !allZero(send) {
-			prob.A = append(prob.A, send)
-			prob.B = append(prob.B, rat.One)
-		}
-
-		// Receive port: tasks in from the parent + results up from
-		// children.
-		recv := make([]rat.R, n)
-		if !isRoot {
-			addSubtree(recv, id, t.CommTime(id))
-		}
-		for _, c := range children {
-			addSubtree(recv, c, p.Result[c])
-		}
-		if !allZero(recv) {
-			prob.A = append(prob.A, recv)
-			prob.B = append(prob.B, rat.One)
-		}
-	}
-	return prob
+// Tree returns the platform as a return-annotated tree.Tree: the native
+// representation the rest of the pipeline consumes.
+func (p Platform) Tree() (*tree.Tree, error) {
+	return p.T.WithReturnTimes(p.Result)
 }
 
-func allZero(row []rat.R) bool {
-	for _, v := range row {
-		if !v.IsZero() {
-			return false
-		}
+// Formulate builds the separate-flows steady-state LP by delegating to
+// the generalized internal/lp formulation on the return-annotated tree.
+func (p Platform) Formulate() lp.Problem {
+	u, err := p.Tree()
+	if err != nil {
+		panic(fmt.Sprintf("resultflow: %v", err))
 	}
-	return true
+	return lp.Formulate(u)
 }
 
 // OptimalThroughput solves the separate-flows LP exactly.

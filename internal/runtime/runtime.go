@@ -86,6 +86,9 @@ type Report struct {
 	// MaxBuffered is the peak buffered-task count over all nodes (the
 	// engine's watermark — the quantity Proposition 3's χ bounds).
 	MaxBuffered int
+	// ResultsReturned counts task results that reached the root; equal to
+	// Total on result-return platforms, zero on forward-only ones.
+	ResultsReturned int
 }
 
 // swapReq asks the master to install a new schedule at the next period
@@ -105,7 +108,9 @@ type Execution struct {
 
 	executed []atomic.Int64
 	nDone    atomic.Int64
-	doneCh   chan struct{} // closed when the last task completes
+	nHome    atomic.Int64
+	hasRet   bool          // batch only finishes once every result is home
+	doneCh   chan struct{} // closed when the batch finishes (see hasRet)
 	swapCh   chan swapReq
 	swaps    atomic.Int64
 
@@ -118,6 +123,7 @@ type Execution struct {
 	// so the hook path builds no strings and takes no registry locks.
 	sc        *obs.Scope
 	execCtr   []*obs.Counter
+	retCtr    *obs.Counter
 	bufG      []*obs.Gauge
 	bufMaxG   []*obs.Gauge
 	linkTrack []string     // "<parent>→<child>", indexed by child node
@@ -177,7 +183,10 @@ func (h hooks) ComputeFinished(n tree.NodeID, tk engine.Task) {
 	if e.execCtr != nil {
 		e.execCtr[n].Inc()
 	}
-	if e.nDone.Add(1) == int64(e.cfg.Tasks) {
+	// On a result-return platform the batch only finishes when the last
+	// result reaches the root (ResultHome closes doneCh); forward-only
+	// runs finish on the last computation, exactly as before.
+	if e.nDone.Add(1) == int64(e.cfg.Tasks) && !e.hasRet {
 		e.elapsed.Store(int64(time.Since(e.start)))
 		close(e.doneCh)
 	}
@@ -208,6 +217,33 @@ func (h hooks) BufferChanged(n tree.NodeID, held int) {
 
 func (h hooks) TaskDropped(n tree.NodeID, tk engine.Task) {}
 
+// The engine.ResultHooks implementation: result transfers reuse the
+// sender's span slot (the single send port guarantees at most one live
+// transfer per node, task or result) on the same edge track, and the
+// batch's completion signal moves to the last result reaching the root.
+
+func (h hooks) ResultSendStarted(n, parent tree.NodeID, tk engine.Task, d rat.R) {
+	e := h.e
+	if e.linkTrack != nil {
+		e.sendSpan[n] = e.sc.StartSpan("result "+strconv.Itoa(tk.ID), e.linkTrack[n], 0)
+	}
+}
+
+func (h hooks) ResultSendFinished(n, parent tree.NodeID, tk engine.Task) {
+	if h.e.linkTrack != nil {
+		h.e.sc.EndSpan(h.e.sendSpan[n])
+	}
+}
+
+func (h hooks) ResultHome(tk engine.Task) {
+	e := h.e
+	e.retCtr.Inc()
+	if e.nHome.Add(1) == int64(e.cfg.Tasks) {
+		e.elapsed.Store(int64(time.Since(e.start)))
+		close(e.doneCh)
+	}
+}
+
 // Start launches the engine and the clocked master and returns the live
 // execution. Wait must be called to collect the report.
 func Start(cfg Config) (*Execution, error) {
@@ -226,6 +262,7 @@ func Start(cfg Config) (*Execution, error) {
 	e := &Execution{
 		cfg:      cfg,
 		executed: make([]atomic.Int64, t.Len()),
+		hasRet:   s.ResultReturn || t.HasResultReturn(),
 		doneCh:   make(chan struct{}),
 		swapCh:   make(chan swapReq),
 	}
@@ -235,6 +272,8 @@ func Start(cfg Config) (*Execution, error) {
 		e.sc = cfg.Obs
 		reg := e.sc.Registry()
 		n := t.Len()
+		e.retCtr = reg.Counter("bwc_runtime_results_returned_total",
+			"task results that reached the root during live runs")
 		e.execCtr = make([]*obs.Counter, n)
 		e.bufG = make([]*obs.Gauge, n)
 		e.bufMaxG = make([]*obs.Gauge, n)
@@ -421,10 +460,11 @@ func (e *Execution) Wait() (*Report, error) {
 	<-e.doneCh
 	e.master.Wait()
 	rep := &Report{
-		Executed:    make([]int, len(e.executed)),
-		Elapsed:     time.Duration(e.elapsed.Load()),
-		Swaps:       int(e.swaps.Load()),
-		MaxBuffered: e.core.MaxWatermark(),
+		Executed:        make([]int, len(e.executed)),
+		Elapsed:         time.Duration(e.elapsed.Load()),
+		Swaps:           int(e.swaps.Load()),
+		MaxBuffered:     e.core.MaxWatermark(),
+		ResultsReturned: int(e.core.ResultsHome()),
 	}
 	for i := range e.executed {
 		rep.Executed[i] = int(e.executed[i].Load())

@@ -67,6 +67,13 @@ type NodeSchedule struct {
 	Alpha    rat.R   // η_0
 	Sends    []rat.R // η_i per child, insertion order
 
+	// ReturnRate is the steady-state rate at which finished results
+	// leave this node toward its parent on result-return platforms
+	// (Section 9): every task the subtree consumes sends one result
+	// back up, so it equals RecvRate. Zero on forward-only platforms
+	// and for the root (results terminate there).
+	ReturnRate rat.R
+
 	// Lemma 1 periods; integers represented as rationals. TR is zero for
 	// the root ("the root should not receive any tasks").
 	TS, TC, TR rat.R
@@ -93,6 +100,12 @@ type Schedule struct {
 	Tree  *tree.Tree
 	Res   *bwfirst.Result
 	Nodes []NodeSchedule // indexed by tree.NodeID
+
+	// ResultReturn marks schedules built for a platform with non-zero
+	// result-return times: the periodic pattern's transfers are then
+	// accompanied by the upward result flow the engine executes on the
+	// same single ports.
+	ResultReturn bool
 }
 
 // Options configures schedule construction.
@@ -199,7 +212,7 @@ func buildFromRates(t *tree.Tree, rates []nodeRates, opt Options) (*Schedule, er
 	if opt.MaxPatternLen == 0 {
 		opt.MaxPatternLen = defaultMaxPatternLen
 	}
-	s := &Schedule{Tree: t, Nodes: make([]NodeSchedule, t.Len())}
+	s := &Schedule{Tree: t, Nodes: make([]NodeSchedule, t.Len()), ResultReturn: t.HasResultReturn()}
 	if t.Len() == 0 {
 		return s, nil
 	}
@@ -232,6 +245,9 @@ func (s *Schedule) buildNode(id tree.NodeID, nr nodeRates, opt Options) error {
 		ns.RecvRate = ns.RecvRate.Add(v)
 	}
 	ns.Active = nr.active
+	if s.ResultReturn && ns.Active && id != t.Root() {
+		ns.ReturnRate = ns.RecvRate
+	}
 
 	// Lemma 1. T^s = lcm of the children's send-rate denominators (an
 	// empty lcm is 1: a node that sends nothing still has a well-defined

@@ -20,6 +20,12 @@ type wireNode struct {
 	TW   string            `json:"tw"`
 	Psi0 string            `json:"psi0"`
 	Psi  map[string]string `json:"psi,omitempty"` // child name -> ψ
+	// Ret is the node's result-return time d and RetRate the steady
+	// upward result rate — additive fields present only on result-return
+	// platforms (Section 9); older readers ignore them, and the rates
+	// are re-derived from the platform tree on unmarshal.
+	Ret     string `json:"ret,omitempty"`
+	RetRate string `json:"ret_rate,omitempty"`
 }
 
 // MarshalDeployment encodes the schedule's active nodes as JSON.
@@ -34,6 +40,12 @@ func (s *Schedule) MarshalDeployment() ([]byte, error) {
 			Name: s.Tree.Name(ns.Node),
 			TW:   ns.TW.String(),
 			Psi0: ns.Psi0.String(),
+		}
+		if s.ResultReturn && ns.Node != s.Tree.Root() {
+			w.Ret = s.Tree.ReturnTime(ns.Node).String()
+			if !ns.ReturnRate.IsZero() {
+				w.RetRate = ns.ReturnRate.String()
+			}
 		}
 		for j, p := range ns.Psi {
 			if p.Sign() > 0 {

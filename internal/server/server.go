@@ -247,6 +247,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
+	if t, e = applyUniformReturn(t, req.UniformReturn); e != nil {
+		writeError(w, e)
+		return
+	}
 	sess, fp, reprimed := s.shard.Get(t)
 	runID := s.beginRun("submit", fp)
 	var opts []bwc.Option
@@ -305,6 +309,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Deployment = dep
+	if t.HasResultReturn() {
+		resp.ResultReturn = true
+		if ft, err := bwc.FoldedThroughput(t); err == nil {
+			resp.FoldedThroughput = ft.String()
+		}
+	}
 	s.endRun(runID, fmt.Sprintf("throughput %s (%s)", resp.Throughput, marker), nil)
 	s.hub.Publish(apiv1.Event{Run: runID, Name: "submit.solved", Attrs: map[string]string{
 		"throughput": resp.Throughput, "cache": marker, "fingerprint": fpLabel(fp),
@@ -327,6 +337,23 @@ func (s *Server) handlePlatform(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ts)
+}
+
+// applyUniformReturn applies a request's uniform_return field (rational
+// string, empty = forward-only) to the parsed platform.
+func applyUniformReturn(t *bwc.Tree, uniform string) (*bwc.Tree, *apiv1.Error) {
+	if uniform == "" {
+		return t, nil
+	}
+	d, e := parseOptRat("uniform_return", uniform)
+	if e != nil {
+		return nil, e
+	}
+	u, err := bwc.PlatformWithUniformResultReturn(t, d)
+	if err != nil {
+		return nil, apiv1.NewError(err)
+	}
+	return u, nil
 }
 
 // horizonOptions maps a request's stop/periods/tasks onto facade
@@ -361,6 +388,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
+	if t, e = applyUniformReturn(t, req.UniformReturn); e != nil {
+		writeError(w, e)
+		return
+	}
 	opts, e := horizonOptions("stop", req.Stop, req.Periods, req.Tasks)
 	if e != nil {
 		writeError(w, e)
@@ -381,16 +412,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	st := run.Stats
 	resp := apiv1.SimulateResponse{
-		APIVersion:  apiv1.Version,
-		Fingerprint: fp,
-		RunID:       runID,
-		Throughput:  st.Throughput.String(),
-		StopAt:      st.StopAt.String(),
-		Generated:   st.Generated,
-		Completed:   st.Completed,
-		SteadyOK:    st.SteadyOK,
-		WindDown:    st.WindDown.String(),
-		MaxBuffered: st.MaxHeld,
+		APIVersion:      apiv1.Version,
+		Fingerprint:     fp,
+		RunID:           runID,
+		Throughput:      st.Throughput.String(),
+		StopAt:          st.StopAt.String(),
+		Generated:       st.Generated,
+		Completed:       st.Completed,
+		SteadyOK:        st.SteadyOK,
+		WindDown:        st.WindDown.String(),
+		MaxBuffered:     st.MaxHeld,
+		ResultsReturned: st.ResultsReturned,
 	}
 	if st.SteadyOK {
 		resp.SteadyStart = st.SteadyStart.String()

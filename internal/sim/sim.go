@@ -109,6 +109,9 @@ type Stats struct {
 	// Makespan is the completion time of the last task: the makespan of
 	// the batch in Tasks mode (zero when nothing completed).
 	Makespan rat.R
+	// ResultsReturned counts task results that reached the root; equal to
+	// Completed after drain on result-return platforms, zero otherwise.
+	ResultsReturned int
 }
 
 // Run is the result of simulating a schedule.
@@ -141,6 +144,7 @@ type simulator struct {
 	sc        *obs.Scope
 	genCtr    *obs.Counter
 	doneCtr   *obs.Counter
+	retCtr    *obs.Counter
 	evCtr     *obs.Counter
 	batchHist *obs.Histogram
 	bufG      []*obs.Gauge
@@ -199,6 +203,8 @@ func (sm *simulator) initObs(sc *obs.Scope) {
 		"tasks released by the root")
 	sm.doneCtr = reg.Counter("bwc_sim_tasks_completed_total",
 		"tasks executed across the platform")
+	sm.retCtr = reg.Counter("bwc_sim_results_returned_total",
+		"task results that reached the root")
 	sm.evCtr = reg.Counter("bwc_sim_events_total",
 		"discrete events fired by the simulation engine")
 	sm.batchHist = reg.Histogram("bwc_sim_batch_events",
@@ -271,6 +277,31 @@ func (sm *simulator) BufferChanged(n tree.NodeID, held int) {
 }
 
 func (sm *simulator) TaskDropped(n tree.NodeID, tk engine.Task) {}
+
+// The engine.ResultHooks implementation: a result transfer occupies the
+// sender's send port and the parent's receive port, so it is recorded
+// with the same Send/Recv interval kinds as a task transfer — the trace
+// validator's single-port overlap checks then cover the upward flow for
+// free. Direction disambiguates: a Send interval whose Peer is the
+// node's parent is a result.
+
+func (sm *simulator) ResultSendStarted(n, parent tree.NodeID, tk engine.Task, d rat.R) {
+	start := sm.eng.Now()
+	end := start.Add(d)
+	if !sm.opt.SkipIntervals {
+		sm.tr.AddInterval(trace.Interval{Node: n, Kind: trace.Send, Start: start, End: end, Peer: parent})
+		sm.tr.AddInterval(trace.Interval{Node: parent, Kind: trace.Recv, Start: start, End: end, Peer: n})
+	} else if sm.sc != nil {
+		sm.sc.AddSpan(obs.Span{Name: sm.sendNm[parent], Track: sm.trkS[n], Start: start, End: end})
+		sm.sc.AddSpan(obs.Span{Name: sm.recvNm[n], Track: sm.trkR[parent], Start: start, End: end})
+	}
+}
+
+func (sm *simulator) ResultSendFinished(n, parent tree.NodeID, tk engine.Task) {}
+
+func (sm *simulator) ResultHome(tk engine.Task) {
+	sm.retCtr.Inc()
+}
 
 // Simulate runs the schedule until the root stops and all in-flight work
 // drains, then post-processes the trace into Stats.
@@ -505,6 +536,7 @@ func (sm *simulator) schedulePeriod(p, released int64) {
 func (sm *simulator) finishStats() {
 	st := sm.stats
 	st.Completed = sm.tr.TotalCompleted()
+	st.ResultsReturned = int(sm.core.ResultsHome())
 	period := rat.FromBigInt(st.TreePeriod)
 	horizon := periodFloor(st.StopAt, period)
 	if st.PerPeriod.IsInt64() {
@@ -538,6 +570,9 @@ func periodFloor(t, period rat.R) rat.R {
 func (r *Run) CheckConservation() error {
 	if r.Stats.Generated != r.Stats.Completed {
 		return fmt.Errorf("sim: %d tasks generated but %d completed", r.Stats.Generated, r.Stats.Completed)
+	}
+	if r.Schedule.ResultReturn && r.Stats.ResultsReturned != r.Stats.Completed {
+		return fmt.Errorf("sim: %d tasks completed but %d results returned", r.Stats.Completed, r.Stats.ResultsReturned)
 	}
 	return r.Trace.Validate()
 }

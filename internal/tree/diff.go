@@ -3,8 +3,9 @@ package tree
 import "fmt"
 
 // DiffWeights compares two same-shaped trees and returns the IDs of the
-// nodes whose own weights differ: a changed processing time w, or a
-// changed incoming communication time c. The result is the "dirty set"
+// nodes whose own weights differ: a changed processing time w, a
+// changed incoming communication time c, or a changed result-return
+// time d. The result is the "dirty set"
 // an incremental re-solve starts from — a platform delta is fully
 // described by which nodes it touched, because every other quantity
 // BW-First reads is structural and shape-identical trees share it.
@@ -35,6 +36,9 @@ func DiffWeights(a, b *Tree) ([]NodeID, error) {
 			changed = !wa.Equal(wb)
 		}
 		if !changed && a.Parent(n) != None && !a.CommTime(n).Equal(b.CommTime(n)) {
+			changed = true
+		}
+		if !changed && !a.ReturnTime(n).Equal(b.ReturnTime(n)) {
 			changed = true
 		}
 		if changed {

@@ -37,6 +37,7 @@ type node struct {
 	procTime rat.R // w_i; meaningful only when hasProc
 	hasProc  bool  // false => switch (w = +inf, rate 0)
 	commIn   rat.R // c_i, time to receive one task from the parent; zero for the root
+	retOut   rat.R // d_i, time to send one result back to the parent; zero = free returns (Section 9)
 	parent   NodeID
 	children []NodeID
 }
@@ -120,6 +121,28 @@ func (t *Tree) Bandwidth(id NodeID) rat.R {
 	return t.CommTime(id).Inv()
 }
 
+// ReturnTime returns d_i, the time for the node to send one task's result
+// back to its parent on the same edge (Section 9's separate return flow).
+// It is zero by default — results are free, the forward-only model — and
+// zero for the root, which has nowhere to return results to.
+func (t *Tree) ReturnTime(id NodeID) rat.R {
+	t.check(id)
+	return t.nodes[id].retOut
+}
+
+// HasResultReturn reports whether any node has a non-zero result-return
+// time: whether the platform models Section 9's upward result flows at
+// all. Forward-only code paths key off this to stay byte-identical when
+// d ≡ 0.
+func (t *Tree) HasResultReturn() bool {
+	for i := range t.nodes {
+		if !t.nodes[i].retOut.IsZero() {
+			return true
+		}
+	}
+	return false
+}
+
 // Parent returns the node's parent, or None for the root.
 func (t *Tree) Parent(id NodeID) NodeID { t.check(id); return t.nodes[id].parent }
 
@@ -139,6 +162,22 @@ func (t *Tree) ChildrenByComm(id NodeID) []NodeID {
 	copy(out, cs)
 	sort.SliceStable(out, func(i, j int) bool {
 		return t.CommTime(out[i]).Less(t.CommTime(out[j]))
+	})
+	return out
+}
+
+// ChildrenByRoundTrip returns the node's children sorted by increasing
+// round-trip communication time c_j + d_j, ties broken by insertion
+// order: the bandwidth-centric visiting order generalized to platforms
+// with result-return flows. With d ≡ 0 it is exactly ChildrenByComm.
+func (t *Tree) ChildrenByRoundTrip(id NodeID) []NodeID {
+	cs := t.Children(id)
+	out := make([]NodeID, len(cs))
+	copy(out, cs)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri := t.CommTime(out[i]).Add(t.ReturnTime(out[i]))
+		rj := t.CommTime(out[j]).Add(t.ReturnTime(out[j]))
+		return ri.Less(rj)
 	})
 	return out
 }
@@ -277,6 +316,9 @@ func (t *Tree) Equal(u *Tree) bool {
 		if an.parent != None && !an.commIn.Equal(bn.commIn) {
 			return false
 		}
+		if !an.retOut.Equal(bn.retOut) {
+			return false
+		}
 		if len(an.children) != len(bn.children) {
 			return false
 		}
@@ -306,8 +348,10 @@ func (t *Tree) String() string {
 		s := n.name
 		if n.parent == None {
 			s += fmt.Sprintf("(w=%s)", w)
-		} else {
+		} else if n.retOut.IsZero() {
 			s += fmt.Sprintf("(c=%s,w=%s)", n.commIn, w)
+		} else {
+			s += fmt.Sprintf("(c=%s,d=%s,w=%s)", n.commIn, n.retOut, w)
 		}
 		if len(n.children) > 0 {
 			s += "["
@@ -427,6 +471,30 @@ func (b *Builder) SwitchChild(parent, name string, comm rat.R) *Builder {
 	return b
 }
 
+// Return sets the result-return time d of an already-added non-root node:
+// the time it needs to push one task's result back up its incoming edge
+// (Section 9). d must be >= 0; zero (the default) models free returns.
+func (b *Builder) Return(name string, d rat.R) *Builder {
+	if b.err != nil {
+		return b
+	}
+	id, ok := b.t.byName[name]
+	if !ok {
+		b.fail("tree: unknown node %q", name)
+		return b
+	}
+	if b.t.nodes[id].parent == None {
+		b.fail("tree: node %q is the root; it has no return edge", name)
+		return b
+	}
+	if d.Sign() < 0 {
+		b.fail("tree: node %q: result-return time must be >= 0 (got %s)", name, d)
+		return b
+	}
+	b.t.nodes[id].retOut = d
+	return b
+}
+
 // Build finalizes the tree. The Builder must not be reused afterwards.
 func (b *Builder) Build() (*Tree, error) {
 	if b.err != nil {
@@ -479,6 +547,62 @@ func (t *Tree) WithCommTime(id NodeID, comm rat.R) (*Tree, error) {
 	}
 	u := t.Clone()
 	u.nodes[id].commIn = comm
+	return u, nil
+}
+
+// WithReturnTime returns a copy of the tree with node id's result-return
+// time replaced (d must be >= 0; zero restores the forward-only model on
+// that edge). The root has no return edge.
+func (t *Tree) WithReturnTime(id NodeID, d rat.R) (*Tree, error) {
+	t.check(id)
+	if t.nodes[id].parent == None {
+		return nil, fmt.Errorf("tree: node %q is the root; it has no return edge", t.nodes[id].name)
+	}
+	if d.Sign() < 0 {
+		return nil, fmt.Errorf("tree: result-return time must be >= 0 (got %s)", d)
+	}
+	u := t.Clone()
+	u.nodes[id].retOut = d
+	return u, nil
+}
+
+// WithUniformReturnTime returns a copy of the tree with every non-root
+// node's result-return time set to d (>= 0): the uniform Section-9
+// platform the counter-example uses.
+func (t *Tree) WithUniformReturnTime(d rat.R) (*Tree, error) {
+	if d.Sign() < 0 {
+		return nil, fmt.Errorf("tree: result-return time must be >= 0 (got %s)", d)
+	}
+	u := t.Clone()
+	for i := range u.nodes {
+		if u.nodes[i].parent != None {
+			u.nodes[i].retOut = d
+		}
+	}
+	return u, nil
+}
+
+// WithReturnTimes returns a copy of the tree with every node's
+// result-return time set from ds, indexed by NodeID (one clone, unlike
+// chained WithReturnTime calls). The root's entry must be zero; every
+// entry must be >= 0.
+func (t *Tree) WithReturnTimes(ds []rat.R) (*Tree, error) {
+	if len(ds) != len(t.nodes) {
+		return nil, fmt.Errorf("tree: %d return times for %d nodes", len(ds), len(t.nodes))
+	}
+	u := t.Clone()
+	for i, d := range ds {
+		if u.nodes[i].parent == None {
+			if !d.IsZero() {
+				return nil, fmt.Errorf("tree: node %q is the root; it has no return edge", u.nodes[i].name)
+			}
+			continue
+		}
+		if d.Sign() < 0 {
+			return nil, fmt.Errorf("tree: node %q: result-return time must be >= 0 (got %s)", u.nodes[i].name, d)
+		}
+		u.nodes[i].retOut = d
+	}
 	return u, nil
 }
 

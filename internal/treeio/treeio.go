@@ -6,6 +6,9 @@
 //     one node per line, "name parent comm proc", where the root uses "-"
 //     for parent and comm, and proc is a rational ("3", "1/2", "0.25") or
 //     "inf" for a switch. '#' starts a comment. Children keep file order.
+//     An optional fifth field "ret" carries the node's result-return time
+//     d (Section 9); it is written only when the platform has a non-zero
+//     return cost, so forward-only platforms round-trip byte-identically.
 //   - JSON, as a nested structure (for tooling).
 //   - Graphviz DOT export (for figures like the paper's Figure 1/4(a)).
 package treeio
@@ -38,10 +41,14 @@ func ParseText(r io.Reader) (*tree.Tree, error) {
 		if len(fields) == 0 {
 			continue
 		}
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("treeio: line %d: want 4 fields (name parent comm proc), got %d: %w", lineNo, len(fields), bwcerr.ErrNotATree)
+		if len(fields) != 4 && len(fields) != 5 {
+			return nil, fmt.Errorf("treeio: line %d: want 4 or 5 fields (name parent comm proc [ret]), got %d: %w", lineNo, len(fields), bwcerr.ErrNotATree)
 		}
 		name, parent, commS, procS := fields[0], fields[1], fields[2], fields[3]
+		retS := ""
+		if len(fields) == 5 {
+			retS = fields[4]
+		}
 		isRoot := parent == "-"
 		if isRoot {
 			if seenRoot {
@@ -49,6 +56,9 @@ func ParseText(r io.Reader) (*tree.Tree, error) {
 			}
 			if commS != "-" {
 				return nil, fmt.Errorf("treeio: line %d: root must have comm '-': %w", lineNo, bwcerr.ErrNotATree)
+			}
+			if retS != "" && retS != "-" {
+				return nil, fmt.Errorf("treeio: line %d: root must have ret '-': %w", lineNo, bwcerr.ErrNotATree)
 			}
 			seenRoot = true
 			if procS == "inf" {
@@ -75,6 +85,13 @@ func ParseText(r io.Reader) (*tree.Tree, error) {
 			}
 			b.Child(parent, name, comm, proc)
 		}
+		if retS != "" && retS != "-" {
+			ret, err := rat.Parse(retS)
+			if err != nil {
+				return nil, fmt.Errorf("treeio: line %d: ret: %v: %w", lineNo, err, bwcerr.ErrNotATree)
+			}
+			b.Return(name, ret)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -94,7 +111,15 @@ func WriteText(w io.Writer, t *tree.Tree) error {
 		return fmt.Errorf("treeio: empty tree")
 	}
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "# name parent comm proc")
+	// The ret column appears only on platforms that model result returns,
+	// so forward-only trees keep their historical byte-exact rendering
+	// (the Session fingerprint depends on this).
+	withRet := t.HasResultReturn()
+	if withRet {
+		fmt.Fprintln(bw, "# name parent comm proc ret")
+	} else {
+		fmt.Fprintln(bw, "# name parent comm proc")
+	}
 	var err error
 	t.Walk(t.Root(), func(id tree.NodeID) bool {
 		parent, comm := "-", "-"
@@ -106,7 +131,15 @@ func WriteText(w io.Writer, t *tree.Tree) error {
 		if w, ok := t.ProcTime(id); ok {
 			proc = w.String()
 		}
-		_, err = fmt.Fprintf(bw, "%s %s %s %s\n", t.Name(id), parent, comm, proc)
+		if withRet {
+			ret := "-"
+			if t.Parent(id) != tree.None {
+				ret = t.ReturnTime(id).String()
+			}
+			_, err = fmt.Fprintf(bw, "%s %s %s %s %s\n", t.Name(id), parent, comm, proc, ret)
+		} else {
+			_, err = fmt.Fprintf(bw, "%s %s %s %s\n", t.Name(id), parent, comm, proc)
+		}
 		return err == nil
 	})
 	if err != nil {
@@ -127,6 +160,7 @@ type jsonNode struct {
 	Name     string     `json:"name"`
 	Proc     string     `json:"proc"`           // rational or "inf"
 	Comm     string     `json:"comm,omitempty"` // absent for the root
+	Ret      string     `json:"ret,omitempty"`  // result-return time d; absent when zero
 	Children []jsonNode `json:"children,omitempty"`
 }
 
@@ -143,6 +177,9 @@ func MarshalJSON(t *tree.Tree) ([]byte, error) {
 		}
 		if t.Parent(id) != tree.None {
 			n.Comm = t.CommTime(id).String()
+			if d := t.ReturnTime(id); !d.IsZero() {
+				n.Ret = d.String()
+			}
 		}
 		for _, c := range t.Children(id) {
 			n.Children = append(n.Children, build(c))
@@ -185,6 +222,13 @@ func UnmarshalJSON(data []byte) (*tree.Tree, error) {
 				}
 				b.Child(parent, n.Name, comm, proc)
 			}
+			if n.Ret != "" {
+				ret, err := rat.Parse(n.Ret)
+				if err != nil {
+					return fmt.Errorf("treeio: node %q: ret: %v", n.Name, err)
+				}
+				b.Return(n.Name, ret)
+			}
 		}
 		for _, c := range n.Children {
 			if err := add(c, n.Name); err != nil {
@@ -217,7 +261,11 @@ func DOT(t *tree.Tree, highlight func(tree.NodeID) bool) string {
 			}
 			fmt.Fprintf(&b, "  %q [label=\"%s\\nw=%s\"%s];\n", t.Name(id), t.Name(id), w, style)
 			if p := t.Parent(id); p != tree.None {
-				fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n", t.Name(p), t.Name(id), t.CommTime(id))
+				if d := t.ReturnTime(id); !d.IsZero() {
+					fmt.Fprintf(&b, "  %q -> %q [label=\"%s / d=%s\"];\n", t.Name(p), t.Name(id), t.CommTime(id), d)
+				} else {
+					fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n", t.Name(p), t.Name(id), t.CommTime(id))
+				}
 			}
 			return true
 		})

@@ -39,7 +39,7 @@ func TestParseText(t *testing.T) {
 
 func TestParseTextErrors(t *testing.T) {
 	cases := map[string]string{
-		"P0 - - 3\nP1":              "want 4 fields",
+		"P0 - - 3\nP1":              "want 4 or 5 fields",
 		"P0 - - 3\nQ0 - - 2":        "second root",
 		"P0 - 1 3":                  "root must have comm '-'",
 		"P0 - - bogus":              "proc",

@@ -1,0 +1,126 @@
+package bwc_test
+
+import (
+	"strings"
+	"testing"
+
+	"bwc"
+	"bwc/internal/resultflow"
+)
+
+// counterExamplePlatform is Section 9's counter-example: a switch root
+// with two c = 1/2, w = 1 workers, each returning results at d = 1/2.
+const counterExamplePlatform = `
+M  -  -   inf
+P1 M  1/2 1   1/2
+P2 M  1/2 1   1/2
+`
+
+// TestE10ResultReturnEndToEnd is the E10 regression pinned through the
+// whole pipeline, not just the LP demo: the counter-example platform
+// must sustain 2 tasks/unit with separate result flows where the folded
+// model predicts 1, and an actual engine run must realize the separate
+// flows — every result drained to the root, the conformance analyzer's
+// result-return verdict PASS (its folded-model detector asserts the
+// measured rate exceeds the folded bound). The isolated resultflow LP
+// stays as a cross-check oracle against the general lp path.
+func TestE10ResultReturnEndToEnd(t *testing.T) {
+	tr, err := bwc.ParsePlatformString(counterExamplePlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.HasResultReturn() {
+		t.Fatal("5th-column return costs did not reach the tree")
+	}
+
+	// Solver layer: greedy = LP exact = 2, folded baseline = 1.
+	exact, err := bwc.Verify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := bwc.NewSession()
+	res := sess.Solve(tr)
+	folded, err := bwc.FoldedThroughput(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Throughput.Equal(bwc.RatInt(2)) || !exact.Equal(bwc.RatInt(2)) {
+		t.Fatalf("separate flows: greedy %s, LP %s, want 2", res.Throughput, exact)
+	}
+	if !folded.Equal(bwc.RatInt(1)) {
+		t.Fatalf("folded baseline %s, want 1", folded)
+	}
+
+	// Cross-check: the isolated resultflow LP must agree with the
+	// general pipeline on the same platform.
+	p, err := resultflow.UniformResult(tr, bwc.Rat(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfOpt, _, err := p.OptimalThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rfOpt.Equal(exact) {
+		t.Fatalf("resultflow LP %s disagrees with general LP %s", rfOpt, exact)
+	}
+
+	// Engine layer: run a batch, require full drain and the analyzer's
+	// result-return PASS. 2-vs-1 shows up as the makespan: 40 tasks at
+	// the separate-flows rate finish in ~20 + startup; the folded model
+	// cannot beat 40.
+	const tasks = 40
+	ob := bwc.NewObserver()
+	run, err := sess.Simulate(tr, bwc.WithTasks(tasks), bwc.WithObserver(ob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.ResultsReturned != tasks {
+		t.Fatalf("%d results home, want %d", run.Stats.ResultsReturned, tasks)
+	}
+	if !run.Stats.Makespan.Less(bwc.RatInt(tasks)) {
+		t.Fatalf("makespan %s did not beat the folded model's %d-unit bound", run.Stats.Makespan, tasks)
+	}
+	rep := bwc.AnalyzeRun(run)
+	check := rep.Check("result-return")
+	if check == nil {
+		t.Fatal("analyzer produced no result-return verdict")
+	}
+	if check.Verdict != bwc.HealthPass {
+		t.Fatalf("result-return verdict %s (%s), want PASS", check.Verdict, check.Detail)
+	}
+	if !strings.Contains(check.Detail, "folded") {
+		t.Fatalf("verdict detail %q does not mention the folded-model comparison", check.Detail)
+	}
+}
+
+// TestE10FoldedRegressionFails pins the negative side of E10: a folded
+// platform (d merged into c, no separate flows) runs at the folded rate,
+// so its batch takes about twice as long. This is the behavior the
+// separate-flows model exists to beat.
+func TestE10FoldedRegressionFails(t *testing.T) {
+	foldedPlatform, err := bwc.ParsePlatformString(`
+M  -  -  inf
+P1 M  1  1
+P2 M  1  1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := bwc.NewSession()
+	res := sess.Solve(foldedPlatform)
+	if !res.Throughput.Equal(bwc.RatInt(1)) {
+		t.Fatalf("folded platform rate %s, want 1", res.Throughput)
+	}
+	const tasks = 40
+	run, err := sess.Simulate(foldedPlatform, bwc.WithTasks(tasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.Makespan.Less(bwc.RatInt(tasks)) {
+		t.Fatalf("folded makespan %s beat the folded bound %d — model error inverted", run.Stats.Makespan, tasks)
+	}
+}
